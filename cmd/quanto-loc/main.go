@@ -1,0 +1,20 @@
+// Command quanto-loc prints the instrumentation/infrastructure size report
+// (the Table 5 analog): lines of code per instrumented subsystem in this
+// repository.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	rep, err := experiments.Table5()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quanto-loc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.String())
+}

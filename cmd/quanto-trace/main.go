@@ -1,0 +1,148 @@
+// Command quanto-trace works with binary Quanto logs in the mote's 12-byte
+// on-the-wire format (Figure 17 of the paper).
+//
+// Usage:
+//
+//	quanto-trace gen [-seed N] [-secs S] FILE   run Blink, write its log
+//	quanto-trace dump FILE                      print entries
+//	quanto-trace summary FILE                   per-type/resource counts
+//	quanto-trace analyze FILE                   regression + energy totals
+//
+// The binary format is exactly what a real mote would stream over its
+// serial back channel, so logs produced elsewhere can be analyzed too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/icount"
+	"repro/internal/mote"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed (gen)")
+	secs := fs.Int("secs", 48, "run length in seconds (gen)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+	if fs.NArg() != 1 {
+		usage()
+	}
+	file := fs.Arg(0)
+
+	var err error
+	switch cmd {
+	case "gen":
+		err = gen(file, *seed, *secs)
+	case "dump":
+		err = withEntries(file, dump)
+	case "summary":
+		err = withEntries(file, summary)
+	case "analyze":
+		err = withEntries(file, analyze)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quanto-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: quanto-trace gen|dump|summary|analyze [flags] FILE")
+	os.Exit(2)
+}
+
+func gen(file string, seed uint64, secs int) error {
+	_, n, _ := apps.RunBlink(seed, units.Ticks(secs)*units.Second, mote.DefaultOptions())
+	data := trace.Marshal(n.Log.Entries)
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d entries (%d bytes) to %s\n", len(n.Log.Entries), len(data), file)
+	return nil
+}
+
+func withEntries(file string, fn func([]core.Entry) error) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	entries, err := trace.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	return fn(entries)
+}
+
+func dump(entries []core.Entry) error {
+	for i, e := range entries {
+		fmt.Printf("%6d %s\n", i, e)
+	}
+	return nil
+}
+
+func summary(entries []core.Entry) error {
+	perType := make(map[core.EntryType]int)
+	perRes := make(map[core.ResourceID]int)
+	for _, e := range entries {
+		perType[e.Type]++
+		perRes[e.Res]++
+	}
+	fmt.Printf("entries: %d (%d bytes)\n\nby type:\n", len(entries), len(entries)*core.EntrySize)
+	types := make([]int, 0, len(perType))
+	for t := range perType {
+		types = append(types, int(t))
+	}
+	sort.Ints(types)
+	for _, t := range types {
+		fmt.Printf("  %-6s %6d\n", core.EntryType(t), perType[core.EntryType(t)])
+	}
+	fmt.Println("by resource:")
+	rs := make([]int, 0, len(perRes))
+	for r := range perRes {
+		rs = append(rs, int(r))
+	}
+	sort.Ints(rs)
+	for _, r := range rs {
+		fmt.Printf("  res%-4d %6d\n", r, perRes[core.ResourceID(r)])
+	}
+	if len(entries) > 0 {
+		first, last := entries[0], entries[len(entries)-1]
+		fmt.Printf("span: %d us, %d pulses\n", last.Time-first.Time, last.IC-first.IC)
+	}
+	return nil
+}
+
+func analyze(entries []core.Entry) error {
+	tr := analysis.NewNodeTrace(1, entries, icount.PulseEnergyMicroJoules, 3.0)
+	a, err := analysis.Analyze(tr, core.NewDictionary(), analysis.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("span:             %.3f s\n", float64(a.Span())/1e6)
+	fmt.Printf("measured energy:  %.2f mJ\n", a.TotalEnergyUJ()/1000)
+	fmt.Printf("average power:    %.2f mW\n", a.AveragePowerMW())
+	fmt.Printf("state groups:     %d\n", len(a.Reg.Groups))
+	fmt.Println("\nfitted draws (mW):")
+	for _, p := range a.Reg.Predictors {
+		fmt.Printf("  res%-3d state%-3d %8.3f\n", p.Res, p.State, a.Reg.PowerMW[p])
+	}
+	fmt.Printf("  const            %8.3f\n", a.Reg.ConstMW)
+	fmt.Printf("\nreconstruction error: %.5f%%\n", a.ReconstructionError()*100)
+	return nil
+}

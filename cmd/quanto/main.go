@@ -1,0 +1,68 @@
+// Command quanto runs the paper's workloads on the simulated platform and
+// reproduces its tables and figures.
+//
+// Usage:
+//
+//	quanto [-seed N] [-list] [experiment ...]
+//
+// With no arguments every experiment runs in paper order. Experiment names:
+// table1, fig10, table2, fig11, table3, fig12, fig13, fig14, fig15, fig16,
+// table4, table5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed (all randomness is derived from it)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	runners := map[string]func(uint64) (*experiments.Report, error){
+		"table1": func(uint64) (*experiments.Report, error) { return experiments.Table1(), nil },
+		"fig10":  experiments.Figure10,
+		"table2": experiments.Table2,
+		"fig11":  experiments.Figure11,
+		"table3": experiments.Table3,
+		"fig12":  experiments.Figure12,
+		"fig13":  experiments.Figure13,
+		"fig14":  experiments.Figure14,
+		"fig15":  experiments.Figure15,
+		"fig16":  experiments.Figure16,
+		"table4": experiments.Table4,
+		"table5": func(uint64) (*experiments.Report, error) { return experiments.Table5() },
+		// Beyond the paper's exhibits: the §5.3 network-wide footprint.
+		"network": experiments.NetworkFootprint,
+	}
+	order := []string{"table1", "fig10", "table2", "fig11", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "table4", "table5", "network"}
+
+	if *list {
+		for _, name := range order {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "quanto: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		rep, err := run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quanto: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a one-node world, define an activity, burn some energy
+// on an LED and the CPU, and ask Quanto where the joules went.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/mote"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func main() {
+	// A world holds the simulator, the RF medium and the shared name
+	// dictionary; a node is a full HydroWatch mote: board, iCount meter,
+	// oscilloscope bench, TinyOS-like kernel, and instrumented drivers.
+	w, n := mote.NewSingleNode(42)
+	k := n.K
+
+	// Define an application activity and do some periodic work under it.
+	work := k.DefineActivity("Work")
+	k.Boot(func() {
+		k.CPUAct.Set(work)
+		t := k.NewTimer(func() {
+			n.LEDs.Toggle(0) // LED0 runs on behalf of "Work"
+			k.Spend(400)     // and so do these CPU cycles
+		})
+		t.StartPeriodic(250 * units.Millisecond)
+		k.CPUAct.SetIdle()
+	})
+
+	// Run ten simulated seconds and close the trace.
+	w.Run(10 * units.Second)
+	w.StampEnd()
+
+	// Offline analysis: intervals -> regression -> breakdowns.
+	tr := analysis.NewNodeTrace(n.ID, n.Log.Entries, n.Meter.PulseEnergy(), n.Volts)
+	a, err := analysis.Analyze(tr, w.Dict, analysis.DefaultOptions())
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+
+	fmt.Printf("log entries:        %d (12 bytes each)\n", len(n.Log.Entries))
+	fmt.Printf("energy measured:    %.2f mJ\n", a.TotalEnergyUJ()/1000)
+	fmt.Printf("average power:      %.2f mW\n", a.AveragePowerMW())
+
+	led0 := analysis.Predictor{Res: power.ResLED0, State: power.StateOn}
+	fmt.Printf("LED0 draw (fit):    %.2f mA\n", a.Reg.CurrentMA(led0, float64(n.Volts)))
+	fmt.Printf("baseline (fit):     %.2f mA\n", a.Reg.ConstCurrentMA(float64(n.Volts)))
+
+	fmt.Println("\nenergy by activity:")
+	for l, uj := range a.EnergyByActivity() {
+		name := "Const."
+		if l != analysis.ConstLabel {
+			name = w.Dict.LabelName(l)
+		}
+		fmt.Printf("  %-14s %8.2f mJ\n", name, uj/1000)
+	}
+}

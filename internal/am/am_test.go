@@ -1,0 +1,158 @@
+package am_test
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/core"
+	"repro/internal/mote"
+	"repro/internal/power"
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+// pair builds two radio-equipped nodes on a shared world.
+func pair(t *testing.T, seed uint64) (*mote.World, *mote.Node, *mote.Node) {
+	t.Helper()
+	w := mote.NewWorld(seed)
+	mk := func() mote.Options {
+		o := mote.DefaultOptions()
+		o.Radio = true
+		o.RadioConfig = radio.Config{Channel: 26}
+		return o
+	}
+	return w, w.AddNode(1, mk()), w.AddNode(2, mk())
+}
+
+func TestSendStampsHiddenActivityField(t *testing.T) {
+	w, a, b := pair(t, 1)
+	act := a.K.DefineActivity("App")
+	var gotLabel core.Label
+	b.AM.Register(9, func(p *am.Packet) { gotLabel = p.Label() })
+
+	b.K.Boot(func() { b.Radio.TurnOn(func() { b.Radio.StartListening() }) })
+	a.K.Boot(func() {
+		a.Radio.TurnOn(func() {
+			a.K.CPUAct.Set(act)
+			a.AM.Send(&am.Packet{Dest: 2, Type: 9, Payload: []byte{1, 2, 3}}, nil)
+			a.K.CPUAct.SetIdle()
+		})
+	})
+	w.Run(units.Second)
+	if gotLabel != act {
+		t.Errorf("hidden field = %v, want %v", gotLabel, act)
+	}
+}
+
+func TestReceiverHandlerRunsUnderSenderActivity(t *testing.T) {
+	w, a, b := pair(t, 2)
+	act := a.K.DefineActivity("App")
+	var handlerLabel core.Label
+	b.AM.Register(9, func(p *am.Packet) { handlerLabel = b.K.CPUAct.Get() })
+
+	b.K.Boot(func() { b.Radio.TurnOn(func() { b.Radio.StartListening() }) })
+	a.K.Boot(func() {
+		a.Radio.TurnOn(func() {
+			a.K.CPUAct.Set(act)
+			a.AM.Send(&am.Packet{Dest: 2, Type: 9}, nil)
+			a.K.CPUAct.SetIdle()
+		})
+	})
+	w.Run(units.Second)
+	if handlerLabel != act {
+		t.Errorf("handler ran under %v, want sender's %v", handlerLabel, act)
+	}
+}
+
+func TestDestFiltering(t *testing.T) {
+	w, a, b := pair(t, 3)
+	got := 0
+	b.AM.Register(9, func(*am.Packet) { got++ })
+	b.K.Boot(func() { b.Radio.TurnOn(func() { b.Radio.StartListening() }) })
+	a.K.Boot(func() {
+		a.Radio.TurnOn(func() {
+			// Addressed elsewhere: node 2 must drop it after decode.
+			a.AM.Send(&am.Packet{Dest: 7, Type: 9}, func() {
+				a.AM.Send(&am.Packet{Dest: 2, Type: 9}, nil)
+			})
+		})
+	})
+	w.Run(2 * units.Second)
+	if got != 1 {
+		t.Errorf("handler ran %d times, want 1 (unicast filter)", got)
+	}
+}
+
+func TestBroadcastDelivered(t *testing.T) {
+	w, a, b := pair(t, 4)
+	got := 0
+	b.AM.Register(9, func(*am.Packet) { got++ })
+	b.K.Boot(func() { b.Radio.TurnOn(func() { b.Radio.StartListening() }) })
+	a.K.Boot(func() {
+		a.Radio.TurnOn(func() {
+			a.AM.Send(&am.Packet{Dest: am.BroadcastAddr, Type: 9}, nil)
+		})
+	})
+	w.Run(units.Second)
+	if got != 1 {
+		t.Errorf("broadcast delivered %d times, want 1", got)
+	}
+}
+
+func TestUnregisteredTypeDropped(t *testing.T) {
+	w, a, b := pair(t, 5)
+	b.K.Boot(func() { b.Radio.TurnOn(func() { b.Radio.StartListening() }) })
+	a.K.Boot(func() {
+		a.Radio.TurnOn(func() {
+			a.AM.Send(&am.Packet{Dest: 2, Type: 77}, nil)
+		})
+	})
+	w.Run(units.Second)
+	_, received := b.AM.Stats()
+	if received != 1 {
+		t.Errorf("received = %d, want 1 (counted even without handler)", received)
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	_, a, _ := pair(t, 6)
+	a.AM.Register(9, func(*am.Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	a.AM.Register(9, func(*am.Packet) {})
+}
+
+func TestWireBytesIncludesHeader(t *testing.T) {
+	p := &am.Packet{Payload: make([]byte, 10)}
+	if p.WireBytes() != am.HeaderBytes+10 {
+		t.Errorf("WireBytes = %d", p.WireBytes())
+	}
+}
+
+func TestReceptionBindsProxiesInLog(t *testing.T) {
+	w, a, b := pair(t, 7)
+	act := a.K.DefineActivity("App")
+	b.AM.Register(9, func(*am.Packet) {})
+	b.K.Boot(func() { b.Radio.TurnOn(func() { b.Radio.StartListening() }) })
+	a.K.Boot(func() {
+		a.Radio.TurnOn(func() {
+			a.K.CPUAct.Set(act)
+			a.AM.Send(&am.Packet{Dest: 2, Type: 9}, nil)
+			a.K.CPUAct.SetIdle()
+		})
+	})
+	w.Run(units.Second)
+	// Node 2's log must contain a bind of the CPU to node 1's activity.
+	found := false
+	for _, e := range b.Log.Entries {
+		if e.Type == core.EntryActivityBind && e.Res == power.ResCPU && core.Label(e.Val) == act {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no CPU bind entry to the sender's activity on the receiver")
+	}
+}

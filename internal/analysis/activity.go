@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Segment is one stretch of a single-activity resource's timeline. Label is
+// the raw label the device carried (what the figures show); Owner is the
+// label after proxy resolution (what accounting charges), which differs only
+// when a later bind entry reassigned a proxy episode.
+type Segment struct {
+	Start, End int64
+	Label      core.Label
+	Owner      core.Label
+}
+
+// ActTimeline is a single-activity resource's activity history.
+type ActTimeline struct {
+	Res  core.ResourceID
+	Segs []Segment
+}
+
+// MultiSegment is one stretch of a multi-activity resource's timeline with
+// its concurrent label set.
+type MultiSegment struct {
+	Start, End int64
+	Labels     []core.Label // sorted
+}
+
+// MultiTimeline is a multi-activity resource's history.
+type MultiTimeline struct {
+	Res  core.ResourceID
+	Segs []MultiSegment
+}
+
+// BuildActivityTimelines reconstructs per-resource activity histories from
+// the log. isProxy identifies proxy labels (from the dictionary); bind
+// entries reassign the owner of the pending proxy episode on that resource,
+// implementing the paper's "the resources used by a proxy activity are
+// accounted for separately, and then assigned to the real activity as soon
+// as the system can determine what this activity is".
+func BuildActivityTimelines(t *NodeTrace, isProxy func(core.Label) bool) (map[core.ResourceID]*ActTimeline, map[core.ResourceID]*MultiTimeline) {
+	single := make(map[core.ResourceID]*ActTimeline)
+	multi := make(map[core.ResourceID]*MultiTimeline)
+
+	type openSeg struct {
+		start   int64
+		label   core.Label
+		pending []int // indices of segments in the unresolved proxy episode
+	}
+	openSingle := make(map[core.ResourceID]*openSeg)
+	openMulti := make(map[core.ResourceID]*struct {
+		start  int64
+		labels map[core.Label]struct{}
+	})
+
+	end := t.End()
+
+	closeSingle := func(res core.ResourceID, at int64) *openSeg {
+		os := openSingle[res]
+		if os == nil {
+			return nil
+		}
+		tl := single[res]
+		if tl == nil {
+			tl = &ActTimeline{Res: res}
+			single[res] = tl
+		}
+		if at > os.start {
+			tl.Segs = append(tl.Segs, Segment{Start: os.start, End: at, Label: os.label, Owner: os.label})
+		}
+		return os
+	}
+
+	for i, e := range t.Entries {
+		at := t.Times[i]
+		switch e.Type {
+		case core.EntryActivitySet, core.EntryActivityBind:
+			label := e.Label()
+			os := closeSingle(e.Res, at)
+			tl := single[e.Res]
+			if tl == nil {
+				tl = &ActTimeline{Res: e.Res}
+				single[e.Res] = tl
+			}
+			next := &openSeg{start: at, label: label}
+			if os != nil {
+				next.pending = os.pending
+				// The closed segment may be part of a proxy episode.
+				if len(tl.Segs) > 0 && tl.Segs[len(tl.Segs)-1].End == at {
+					closedIdx := len(tl.Segs) - 1
+					closed := tl.Segs[closedIdx]
+					if isProxy(closed.Label) {
+						next.pending = append(next.pending, closedIdx)
+					}
+				}
+			}
+			switch {
+			case e.Type == core.EntryActivityBind:
+				// Reassign the pending episode to the bound activity.
+				for _, idx := range next.pending {
+					tl.Segs[idx].Owner = label
+				}
+				next.pending = nil
+			case !isProxy(label) && !label.IsIdle():
+				// A real activity closes the episode: pending proxy
+				// segments keep their own labels.
+				next.pending = nil
+			}
+			openSingle[e.Res] = next
+
+		case core.EntryActivityAdd, core.EntryActivityRemove:
+			om := openMulti[e.Res]
+			mt := multi[e.Res]
+			if mt == nil {
+				mt = &MultiTimeline{Res: e.Res}
+				multi[e.Res] = mt
+			}
+			if om == nil {
+				om = &struct {
+					start  int64
+					labels map[core.Label]struct{}
+				}{start: at, labels: make(map[core.Label]struct{})}
+				openMulti[e.Res] = om
+			}
+			if at > om.start {
+				mt.Segs = append(mt.Segs, MultiSegment{Start: om.start, End: at, Labels: sortedLabels(om.labels)})
+			}
+			if e.Type == core.EntryActivityAdd {
+				om.labels[e.Label()] = struct{}{}
+			} else {
+				delete(om.labels, e.Label())
+			}
+			om.start = at
+		}
+	}
+
+	// Close everything at the end of the trace.
+	for res, os := range openSingle {
+		tl := single[res]
+		if end > os.start {
+			tl.Segs = append(tl.Segs, Segment{Start: os.start, End: end, Label: os.label, Owner: os.label})
+		}
+	}
+	for res, om := range openMulti {
+		mt := multi[res]
+		if end > om.start {
+			mt.Segs = append(mt.Segs, MultiSegment{Start: om.start, End: end, Labels: sortedLabels(om.labels)})
+		}
+	}
+	return single, multi
+}
+
+func sortedLabels(set map[core.Label]struct{}) []core.Label {
+	out := make([]core.Label, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StateSegment is one stretch of a resource's power-state history.
+type StateSegment struct {
+	Start, End int64
+	State      core.PowerState
+}
+
+// BuildStateTimelines reconstructs per-resource power-state histories.
+func BuildStateTimelines(t *NodeTrace) map[core.ResourceID][]StateSegment {
+	out := make(map[core.ResourceID][]StateSegment)
+	open := make(map[core.ResourceID]*StateSegment)
+	end := t.End()
+	for i, e := range t.Entries {
+		if e.Type != core.EntryPowerState {
+			continue
+		}
+		at := t.Times[i]
+		if seg := open[e.Res]; seg != nil {
+			if at > seg.Start {
+				seg.End = at
+				out[e.Res] = append(out[e.Res], *seg)
+			}
+		}
+		open[e.Res] = &StateSegment{Start: at, State: e.State()}
+	}
+	for res, seg := range open {
+		if end > seg.Start {
+			seg.End = end
+			out[res] = append(out[res], *seg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package analysis is the offline half of Quanto: it turns a node's event
+// log into power-state intervals, runs the weighted least-squares regression
+// that disaggregates the board's energy by hardware component (Section 2.5),
+// resolves proxy activities through bind entries, and produces the time and
+// energy breakdowns of Table 3 plus the reconstructed power traces of
+// Figure 11(c).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// NodeTrace is one node's log prepared for analysis: timestamps unwrapped to
+// 64-bit microseconds and metadata needed to convert pulses to joules.
+type NodeTrace struct {
+	Node    core.NodeID
+	Entries []core.Entry
+	Times   []int64 // unwrapped, parallel to Entries
+
+	PulseUJ float64
+	Volts   units.Volts
+}
+
+// NewNodeTrace wraps a log. PulseUJ is the meter's energy quantum and volts
+// the supply voltage (needed to express power draws as currents).
+func NewNodeTrace(node core.NodeID, entries []core.Entry, pulseUJ float64, volts units.Volts) *NodeTrace {
+	return &NodeTrace{
+		Node:    node,
+		Entries: entries,
+		Times:   trace.UnwrapTimes(entries),
+		PulseUJ: pulseUJ,
+		Volts:   volts,
+	}
+}
+
+// Start returns the first entry's time, or 0 for an empty log.
+func (t *NodeTrace) Start() int64 {
+	if len(t.Times) == 0 {
+		return 0
+	}
+	return t.Times[0]
+}
+
+// End returns the last entry's time, or 0 for an empty log. Harnesses stamp
+// a final marker at the end of a run so this covers the full window.
+func (t *NodeTrace) End() int64 {
+	if len(t.Times) == 0 {
+		return 0
+	}
+	return t.Times[len(t.Times)-1]
+}
+
+// StateInterval is one stretch of time during which no logged event
+// occurred: the power states of all sinks are constant, Pulses energy
+// quanta were consumed, and the interval lasted End-Start microseconds.
+type StateInterval struct {
+	Start, End int64
+	Pulses     uint32
+	// States snapshots every sink's power state during the interval. The
+	// map is shared between intervals with identical vectors; do not
+	// mutate.
+	States map[core.ResourceID]core.PowerState
+	// Key is a canonical fingerprint of the non-zero states, used for
+	// grouping.
+	Key string
+}
+
+// Duration returns the interval length in microseconds.
+func (iv StateInterval) Duration() int64 { return iv.End - iv.Start }
+
+// EnergyUJ converts the interval's pulse count to energy.
+func (iv StateInterval) EnergyUJ(pulseUJ float64) float64 {
+	return float64(iv.Pulses) * pulseUJ
+}
+
+// StateIntervals slices the log into intervals between consecutive entries,
+// each annotated with the in-effect power-state vector and the energy used.
+// Zero-length gaps (several entries at one microsecond) are skipped; their
+// pulses are carried into the following interval.
+func (t *NodeTrace) StateIntervals() []StateInterval {
+	states := make(map[core.ResourceID]core.PowerState)
+	var out []StateInterval
+	var carryPulses uint32
+
+	snapshot := func() (map[core.ResourceID]core.PowerState, string) {
+		// Copy and fingerprint the current vector.
+		cp := make(map[core.ResourceID]core.PowerState, len(states))
+		keys := make([]int, 0, len(states))
+		for r, s := range states {
+			cp[r] = s
+			if s != 0 {
+				keys = append(keys, int(r))
+			}
+		}
+		sort.Ints(keys)
+		key := ""
+		for _, r := range keys {
+			key += fmt.Sprintf("%d=%d;", r, states[core.ResourceID(r)])
+		}
+		return cp, key
+	}
+
+	for i := 0; i+1 < len(t.Entries); i++ {
+		e := t.Entries[i]
+		if e.Type == core.EntryPowerState {
+			states[e.Res] = e.State()
+		}
+		start, end := t.Times[i], t.Times[i+1]
+		pulses := t.Entries[i+1].IC - e.IC // uint32 arithmetic handles wrap
+		if end == start {
+			carryPulses += pulses
+			continue
+		}
+		snap, key := snapshot()
+		out = append(out, StateInterval{
+			Start:  start,
+			End:    end,
+			Pulses: pulses + carryPulses,
+			States: snap,
+			Key:    key,
+		})
+		carryPulses = 0
+	}
+	return out
+}
+
+// TotalPulses returns the pulse count between the first and last entry.
+func (t *NodeTrace) TotalPulses() uint32 {
+	if len(t.Entries) < 2 {
+		return 0
+	}
+	return t.Entries[len(t.Entries)-1].IC - t.Entries[0].IC
+}
+
+// TotalEnergyUJ returns the energy the meter observed across the log.
+func (t *NodeTrace) TotalEnergyUJ() float64 {
+	return float64(t.TotalPulses()) * t.PulseUJ
+}

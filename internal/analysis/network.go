@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Network aggregates per-node analyses into the network-wide view the paper
+// motivates: "network-wide, how much energy do network services consume?"
+// Because activity labels carry their origin node, summing per-activity
+// energy across nodes attributes every joule — wherever it was spent — to
+// the activity (and node) that caused it. This is the "butterfly effect"
+// tracking of Section 5.3: a local action's network-wide energy footprint.
+type Network struct {
+	Nodes map[core.NodeID]*Analysis
+	Dict  *core.Dictionary
+}
+
+// NewNetwork builds the aggregate over per-node analyses.
+func NewNetwork(dict *core.Dictionary, nodes ...*Analysis) *Network {
+	n := &Network{Nodes: make(map[core.NodeID]*Analysis), Dict: dict}
+	for _, a := range nodes {
+		n.Nodes[a.Trace.Node] = a
+	}
+	return n
+}
+
+// EnergyByActivity sums each activity's energy across every node in the
+// network. Constant-term energy stays per-node (it is unattributable board
+// draw) and is reported under ConstLabel.
+func (n *Network) EnergyByActivity() map[core.Label]float64 {
+	out := make(map[core.Label]float64)
+	ids := n.nodeIDs()
+	for _, id := range ids {
+		for l, uj := range n.Nodes[id].EnergyByActivity() {
+			out[l] += uj
+		}
+	}
+	return out
+}
+
+// RemoteEnergyUJ returns, for the activity labeled l, how much of its
+// network-wide energy was spent on nodes other than its origin — the
+// quantity that is invisible to any single-node profiler.
+func (n *Network) RemoteEnergyUJ(l core.Label) float64 {
+	var total float64
+	for _, id := range n.nodeIDs() {
+		if id == l.Origin() {
+			continue
+		}
+		total += n.Nodes[id].EnergyByActivity()[l]
+	}
+	return total
+}
+
+// TotalEnergyUJ sums measured energy across all nodes.
+func (n *Network) TotalEnergyUJ() float64 {
+	var total float64
+	for _, id := range n.nodeIDs() {
+		total += n.Nodes[id].TotalEnergyUJ()
+	}
+	return total
+}
+
+// NodeShare describes one node's contribution to an activity's footprint.
+type NodeShare struct {
+	Node     core.NodeID
+	EnergyUJ float64
+}
+
+// Footprint returns the per-node decomposition of one activity's
+// network-wide energy, ordered by node id.
+func (n *Network) Footprint(l core.Label) []NodeShare {
+	var out []NodeShare
+	for _, id := range n.nodeIDs() {
+		uj := n.Nodes[id].EnergyByActivity()[l]
+		if uj > 0 {
+			out = append(out, NodeShare{Node: id, EnergyUJ: uj})
+		}
+	}
+	return out
+}
+
+// Report renders the network-wide activity table.
+func (n *Network) Report() string {
+	byAct := n.EnergyByActivity()
+	labels := make([]core.Label, 0, len(byAct))
+	for l := range byAct {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return byAct[labels[i]] > byAct[labels[j]] })
+	s := fmt.Sprintf("%-22s %12s %12s\n", "Activity", "Total (mJ)", "Remote (mJ)")
+	for _, l := range labels {
+		name := "Const."
+		remote := 0.0
+		if l != ConstLabel {
+			name = n.Dict.LabelName(l)
+			remote = n.RemoteEnergyUJ(l)
+		}
+		s += fmt.Sprintf("%-22s %12.3f %12.3f\n", name, byAct[l]/1000, remote/1000)
+	}
+	return s
+}
+
+func (n *Network) nodeIDs() []core.NodeID {
+	ids := make([]core.NodeID, 0, len(n.Nodes))
+	for id := range n.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"repro/internal/am"
+	"repro/internal/core"
+	"repro/internal/mote"
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+// BounceAMType is the Active Message type Bounce traffic uses.
+const BounceAMType uint8 = 7
+
+// Bounce is the paper's cross-node tracking example (Section 4.2.2): two
+// nodes exchange two packets, each packet originating from one of the nodes
+// and perpetually bouncing between them. All work a node performs for a
+// packet — reception, holding it (with an LED lit), and retransmission — is
+// charged to the packet's original activity, even on the other node.
+//
+// LED assignment follows the paper: LED1 is lit while the node holds the
+// packet of the *other* node's activity, LED2 while it holds its own.
+type Bounce struct {
+	World *mote.World
+	Nodes [2]*mote.Node
+
+	// HoldTime is how long a node keeps a packet before sending it back.
+	HoldTime units.Ticks
+
+	acts [2]core.Label
+
+	received [2]uint64
+	sent     [2]uint64
+}
+
+// BounceConfig parameterizes the run.
+type BounceConfig struct {
+	NodeA, NodeB core.NodeID
+	Channel      int
+	HoldTime     units.Ticks
+	UseDMA       bool
+}
+
+// DefaultBounceConfig matches the paper's setup: nodes 1 and 4.
+func DefaultBounceConfig() BounceConfig {
+	return BounceConfig{
+		NodeA:    1,
+		NodeB:    4,
+		Channel:  26,
+		HoldTime: 220 * units.Millisecond,
+	}
+}
+
+// NewBounce builds a two-node world running Bounce.
+func NewBounce(seed uint64, cfg BounceConfig) *Bounce {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 220 * units.Millisecond
+	}
+	w := mote.NewWorld(seed)
+	b := &Bounce{World: w, HoldTime: cfg.HoldTime}
+
+	ids := [2]core.NodeID{cfg.NodeA, cfg.NodeB}
+	for i, id := range ids {
+		opts := mote.DefaultOptions()
+		opts.Radio = true
+		opts.RadioConfig = radio.Config{Channel: cfg.Channel, UseDMA: cfg.UseDMA}
+		b.Nodes[i] = w.AddNode(id, opts)
+	}
+
+	for i := range b.Nodes {
+		b.setup(i, ids[1-i])
+	}
+	return b
+}
+
+func (b *Bounce) setup(i int, peer core.NodeID) {
+	n := b.Nodes[i]
+	k := n.K
+	b.acts[i] = k.DefineActivity("BounceApp")
+
+	n.AM.Register(BounceAMType, func(p *am.Packet) {
+		// Handler runs with the CPU already bound to the packet's
+		// originating activity; everything below inherits it.
+		b.received[i]++
+		led := 2
+		if p.Label().Origin() != n.ID {
+			led = 1
+		}
+		n.LEDs.On(led)
+		hold := k.NewTimer(func() {
+			// The timer restored the packet's activity; send it onward and
+			// turn the LED off when the radio is done.
+			out := &am.Packet{Dest: peer, Type: BounceAMType, Payload: p.Payload}
+			n.AM.Send(out, func() {
+				n.LEDs.Off(led)
+				b.sent[i]++
+			})
+		})
+		hold.StartOneShot(b.HoldTime)
+	})
+
+	k.Boot(func() {
+		k.CPUAct.Set(b.acts[i])
+		n.Radio.TurnOn(func() {
+			n.Radio.StartListening()
+			// Each node originates one packet, offset so the two packets
+			// interleave.
+			kick := k.NewTimer(func() {
+				out := &am.Packet{Dest: peer, Type: BounceAMType, Payload: make([]byte, 12)}
+				n.AM.Send(out, func() { b.sent[i]++ })
+			})
+			kick.StartOneShot(units.Ticks(50+100*i) * units.Millisecond)
+		})
+		k.CPUAct.SetIdle()
+	})
+}
+
+// Stats returns per-node received/sent counts.
+func (b *Bounce) Stats() (received, sent [2]uint64) { return b.received, b.sent }
+
+// Activities returns the two BounceApp labels.
+func (b *Bounce) Activities() [2]core.Label { return b.acts }
+
+// Run advances the world and stamps the end.
+func (b *Bounce) Run(d units.Ticks) {
+	b.World.Run(d)
+	b.World.StampEnd()
+}

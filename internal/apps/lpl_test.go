@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func lplDuty(t *testing.T, l *LPL) float64 {
+	t.Helper()
+	tr := analysis.NewNodeTrace(l.Node.ID, l.Node.Log.Entries, l.Node.Meter.PulseEnergy(), l.Node.Volts)
+	a, err := analysis.Analyze(tr, l.World.Dict, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return float64(a.ActiveTimeUS(power.ResRadioReg)) / float64(a.Span())
+}
+
+func TestLPLCleanChannelNoFalsePositives(t *testing.T) {
+	l := NewLPL(11, DefaultLPLConfig(26))
+	l.Run(70 * units.Second)
+	wakeups, fps := l.Stats()
+	if wakeups < 130 {
+		t.Errorf("wakeups = %d, want ~140 over 70s at 500ms", wakeups)
+	}
+	if fps != 0 {
+		t.Errorf("false positives on channel 26 = %d, want 0", fps)
+	}
+}
+
+func TestLPLInterferedChannelFalsePositives(t *testing.T) {
+	l := NewLPL(11, DefaultLPLConfig(17))
+	l.Run(70 * units.Second)
+	rate := l.FalsePositiveRate()
+	// Paper: 17.8% of checks falsely detect energy; the interferer's duty
+	// cycle is ~17.9%. Allow sampling noise.
+	if rate < 0.10 || rate > 0.28 {
+		t.Errorf("false-positive rate = %.3f, want ~0.178", rate)
+	}
+}
+
+func TestLPLDutyCycles(t *testing.T) {
+	clean := NewLPL(11, DefaultLPLConfig(26))
+	clean.Run(70 * units.Second)
+	noisy := NewLPL(11, DefaultLPLConfig(17))
+	noisy.Run(70 * units.Second)
+
+	dClean := lplDuty(t, clean)
+	dNoisy := lplDuty(t, noisy)
+	// Paper: 2.22% clean, 5.58% under interference.
+	if dClean < 0.015 || dClean > 0.032 {
+		t.Errorf("clean duty cycle = %.4f, want ~0.022", dClean)
+	}
+	if dNoisy < 0.035 || dNoisy > 0.085 {
+		t.Errorf("interfered duty cycle = %.4f, want ~0.056", dNoisy)
+	}
+	if dNoisy <= dClean*1.5 {
+		t.Errorf("interfered duty (%.4f) should far exceed clean duty (%.4f)", dNoisy, dClean)
+	}
+}
+
+func TestLPLPowerOrdering(t *testing.T) {
+	clean := NewLPL(11, DefaultLPLConfig(26))
+	clean.Run(70 * units.Second)
+	noisy := NewLPL(11, DefaultLPLConfig(17))
+	noisy.Run(70 * units.Second)
+
+	pClean := clean.Node.Meter.EnergyMicroJoules() / 70e6 * 1000 // mW
+	pNoisy := noisy.Node.Meter.EnergyMicroJoules() / 70e6 * 1000
+	if pNoisy <= pClean {
+		t.Errorf("interfered power %.3f mW should exceed clean power %.3f mW", pNoisy, pClean)
+	}
+	ratio := pNoisy / pClean
+	// Paper reports 1.43 vs 0.919 mW (ratio 1.56); our physically
+	// consistent model lands a somewhat larger ratio. Direction and rough
+	// scale must hold.
+	if ratio < 1.2 || ratio > 4.0 {
+		t.Errorf("power ratio = %.2f, want within [1.2, 4.0]", ratio)
+	}
+}

@@ -1,0 +1,79 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSenseSendDeliversReports(t *testing.T) {
+	s := NewSenseSend(21, DefaultSenseSendConfig())
+	s.Run(26 * units.Second)
+	sent, received := s.Stats()
+	if sent < 4 {
+		t.Errorf("sent = %d, want >= 4 over 26s at 5s period", sent)
+	}
+	if received != sent {
+		t.Errorf("received = %d, want %d (lossless medium)", received, sent)
+	}
+}
+
+func TestSenseSendSensorConversions(t *testing.T) {
+	s := NewSenseSend(21, DefaultSenseSendConfig())
+	s.Run(26 * units.Second)
+	if reads := s.Sensor.Sensor.Reads(); reads < 8 {
+		t.Errorf("sensor reads = %d, want >= 8 (two per report)", reads)
+	}
+}
+
+func TestTimerBugCalibrationRate(t *testing.T) {
+	tb := NewTimerBug(31, true)
+	tb.Run(4 * units.Second)
+	rate := tb.CalibrationRate()
+	// Figure 15: TimerA1 fires 16 times per second.
+	if math.Abs(rate-16) > 1.5 {
+		t.Errorf("calibration rate = %.2f Hz, want ~16 Hz", rate)
+	}
+}
+
+func TestTimerBugFixedHasNoCalibration(t *testing.T) {
+	tb := NewTimerBug(31, false)
+	tb.Run(4 * units.Second)
+	if rate := tb.CalibrationRate(); rate != 0 {
+		t.Errorf("calibration rate with DCO disabled = %.2f Hz, want 0", rate)
+	}
+}
+
+func TestDMATransferAtLeastTwiceAsFast(t *testing.T) {
+	run := func(useDMA bool) units.Ticks {
+		d := NewDMACompare(41, useDMA, 30, 100*units.Millisecond)
+		d.Run(400 * units.Millisecond)
+		start, done, ok := d.Timing()
+		if !ok {
+			t.Fatalf("send (useDMA=%v) never completed", useDMA)
+		}
+		return done - start
+	}
+	normal := run(false)
+	dma := run(true)
+	if normal <= 0 || dma <= 0 {
+		t.Fatalf("bad timings: normal=%v dma=%v", normal, dma)
+	}
+	// Figure 16: "the DMA transfer is at least twice as fast as the
+	// interrupt-driven transfer".
+	if float64(normal) < 1.6*float64(dma) {
+		t.Errorf("normal=%v dma=%v; want normal >= 1.6x dma", normal, dma)
+	}
+}
+
+func TestDMAPacketStillDelivered(t *testing.T) {
+	for _, useDMA := range []bool{false, true} {
+		d := NewDMACompare(43, useDMA, 30, 100*units.Millisecond)
+		d.Run(400 * units.Millisecond)
+		_, received := d.Peer.AM.Stats()
+		if received != 1 {
+			t.Errorf("useDMA=%v: peer received %d packets, want 1", useDMA, received)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"repro/internal/am"
+	"repro/internal/core"
+	"repro/internal/mote"
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+// RelayAMType is the Active Message type of relayed traffic.
+const RelayAMType uint8 = 13
+
+// Relay is a multihop line network demonstrating the paper's "butterfly
+// effect" tracking (Section 5.3): a packet originated at the first node is
+// forwarded hop by hop to the last, and every hop's work — reception,
+// queueing, retransmission, radio time — is charged to the origin's
+// activity, because the label rides the packet across every hop.
+//
+// Forwarding uses an instrumented queue: the saved activity is restored when
+// the queued packet is serviced, the paper's "forwarding queues in
+// protocols" instrumentation point.
+type Relay struct {
+	World *mote.World
+	Nodes []*mote.Node
+
+	Act core.Label // the origin's activity ("Flood")
+
+	period    units.Ticks
+	generated uint64
+	delivered uint64
+}
+
+// RelayConfig parameterizes the line network.
+type RelayConfig struct {
+	Hops    int // number of nodes in the line (>= 2)
+	Channel int
+	Period  units.Ticks // packet generation period at the origin
+}
+
+// DefaultRelayConfig builds a 3-hop line generating a packet per second.
+func DefaultRelayConfig() RelayConfig {
+	return RelayConfig{Hops: 3, Channel: 26, Period: units.Second}
+}
+
+// NewRelay builds the line network.
+func NewRelay(seed uint64, cfg RelayConfig) *Relay {
+	if cfg.Hops < 2 {
+		cfg.Hops = 2
+	}
+	if cfg.Period == 0 {
+		cfg.Period = units.Second
+	}
+	w := mote.NewWorld(seed)
+	r := &Relay{World: w, period: cfg.Period}
+
+	for i := 0; i < cfg.Hops; i++ {
+		opts := mote.DefaultOptions()
+		opts.Radio = true
+		opts.RadioConfig = radio.Config{Channel: cfg.Channel}
+		r.Nodes = append(r.Nodes, w.AddNode(core.NodeID(i+1), opts))
+	}
+
+	origin := r.Nodes[0]
+	r.Act = origin.K.DefineActivity("Flood")
+
+	// Intermediate and final hops.
+	for i := 1; i < len(r.Nodes); i++ {
+		i := i
+		n := r.Nodes[i]
+		final := i == len(r.Nodes)-1
+		n.AM.Register(RelayAMType, func(p *am.Packet) {
+			// Runs bound to the origin's activity already.
+			if final {
+				r.delivered++
+				n.LEDs.Toggle(1)
+				return
+			}
+			// Forward through an instrumented queue: Post saves the
+			// current (origin's) activity and restores it when the
+			// queued entry is serviced.
+			next := r.Nodes[i+1].ID
+			n.K.Post(func() {
+				out := &am.Packet{Dest: next, Type: RelayAMType, Payload: p.Payload}
+				n.AM.Send(out, nil)
+			})
+		})
+		n.K.Boot(func() {
+			n.Radio.TurnOn(func() { n.Radio.StartListening() })
+		})
+	}
+
+	// Origin generates packets periodically under the Flood activity.
+	origin.K.Boot(func() {
+		origin.Radio.TurnOn(func() {
+			origin.Radio.StartListening()
+			gen := origin.K.NewTimer(func() {
+				r.generated++
+				out := &am.Packet{Dest: r.Nodes[1].ID, Type: RelayAMType, Payload: make([]byte, 8)}
+				origin.AM.Send(out, nil)
+			})
+			origin.K.CPUAct.Set(r.Act)
+			gen.StartPeriodic(r.period)
+			origin.K.CPUAct.SetIdle()
+		})
+	})
+	return r
+}
+
+// Run advances the world and stamps the end.
+func (r *Relay) Run(d units.Ticks) {
+	r.World.Run(d)
+	r.World.StampEnd()
+}
+
+// Stats returns packets generated at the origin and delivered at the sink.
+func (r *Relay) Stats() (generated, delivered uint64) {
+	return r.generated, r.delivered
+}

@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/mote"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func analyzeRelayNode(t *testing.T, r *Relay, n *mote.Node) *analysis.Analysis {
+	t.Helper()
+	tr := analysis.NewNodeTrace(n.ID, n.Log.Entries, n.Meter.PulseEnergy(), n.Volts)
+	a, err := analysis.Analyze(tr, r.World.Dict, analysis.DefaultOptions())
+	if err != nil {
+		t.Fatalf("analyze node %d: %v", n.ID, err)
+	}
+	return a
+}
+
+func TestRelayDeliversEndToEnd(t *testing.T) {
+	r := NewRelay(17, DefaultRelayConfig())
+	r.Run(10 * units.Second)
+	gen, del := r.Stats()
+	if gen < 8 {
+		t.Errorf("generated = %d, want ~9-10", gen)
+	}
+	if del != gen {
+		t.Errorf("delivered %d of %d packets", del, gen)
+	}
+}
+
+func TestRelayChargesAllHopsToOrigin(t *testing.T) {
+	r := NewRelay(17, DefaultRelayConfig())
+	r.Run(10 * units.Second)
+	// Every hop — including the last, which never originates anything —
+	// must have CPU time under the origin's Flood activity.
+	for i, n := range r.Nodes {
+		if i == 0 {
+			continue
+		}
+		a := analyzeRelayNode(t, r, n)
+		cpu := a.TimeByActivity()[power.ResCPU][r.Act]
+		if cpu <= 0 {
+			t.Errorf("hop %d has no CPU time under %v", i, r.Act)
+		}
+	}
+}
+
+func TestRelayNetworkWideFootprint(t *testing.T) {
+	r := NewRelay(17, DefaultRelayConfig())
+	r.Run(10 * units.Second)
+
+	var analyses []*analysis.Analysis
+	for _, n := range r.Nodes {
+		analyses = append(analyses, analyzeRelayNode(t, r, n))
+	}
+	net := analysis.NewNetwork(r.World.Dict, analyses...)
+
+	// The Flood activity's footprint must span every node.
+	fp := net.Footprint(r.Act)
+	if len(fp) != len(r.Nodes) {
+		t.Fatalf("footprint covers %d nodes, want %d: %+v", len(fp), len(r.Nodes), fp)
+	}
+	// Remote energy (spent off-origin) must be substantial: two of three
+	// hops do forwarding work.
+	remote := net.RemoteEnergyUJ(r.Act)
+	total := net.EnergyByActivity()[r.Act]
+	if remote <= 0 || remote >= total {
+		t.Errorf("remote = %.1f of %.1f uJ", remote, total)
+	}
+	// The network report renders.
+	rep := net.Report()
+	if rep == "" {
+		t.Error("empty network report")
+	}
+}
+
+func TestNetworkEnergyConservation(t *testing.T) {
+	r := NewRelay(17, DefaultRelayConfig())
+	r.Run(10 * units.Second)
+	var analyses []*analysis.Analysis
+	var perNodeSum float64
+	for _, n := range r.Nodes {
+		a := analyzeRelayNode(t, r, n)
+		analyses = append(analyses, a)
+		perNodeSum += a.TotalEnergyUJ()
+	}
+	net := analysis.NewNetwork(r.World.Dict, analyses...)
+	if got := net.TotalEnergyUJ(); got != perNodeSum {
+		t.Errorf("network total %.1f != per-node sum %.1f", got, perNodeSum)
+	}
+	// Per-activity network totals must sum to the per-node attribution
+	// totals.
+	var actSum float64
+	for _, uj := range net.EnergyByActivity() {
+		actSum += uj
+	}
+	var attribSum float64
+	for _, a := range analyses {
+		for _, uj := range a.EnergyByActivity() {
+			attribSum += uj
+		}
+	}
+	if diff := actSum - attribSum; diff < -1 || diff > 1 {
+		t.Errorf("activity sums differ by %.3f uJ", diff)
+	}
+}
+
+func TestRelayLongerLine(t *testing.T) {
+	cfg := DefaultRelayConfig()
+	cfg.Hops = 5
+	r := NewRelay(23, cfg)
+	r.Run(8 * units.Second)
+	gen, del := r.Stats()
+	if gen == 0 || del != gen {
+		t.Errorf("5-hop line: generated %d delivered %d", gen, del)
+	}
+	// The origin label must appear in the last node's log (4 hops away).
+	last := r.Nodes[len(r.Nodes)-1]
+	found := false
+	for _, e := range last.Log.Entries {
+		if e.Type == core.EntryActivityBind && core.Label(e.Val) == r.Act {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("origin activity never reached the last hop")
+	}
+}

@@ -1,0 +1,73 @@
+// Package core implements Quanto's primary contribution: causal tracking of
+// programmer-defined activities and hardware power states, tied to
+// fine-grained energy metering through a compact event log.
+//
+// The package mirrors the nesC interfaces of the paper's TinyOS
+// implementation:
+//
+//   - PowerStateVar is the PowerState/PowerStateTrack pair (Figures 1 and 3):
+//     device drivers signal hardware power-state changes through it and the
+//     OS observes actual changes.
+//   - SingleActivityDevice and MultiActivityDevice (Figures 5 and 6) hold the
+//     activity a hardware component is currently working for; the OS
+//     "paints" devices with activity labels and propagates them across
+//     causally related operations.
+//   - Tracker is the glue component: every real state change is logged as a
+//     12-byte entry stamped with the node-local time and the cumulative
+//     iCount energy reading (Figure 17), and the CPU is charged the
+//     synchronous logging cost (102 cycles at 1 MHz, Table 4).
+//
+// Everything here is per-node and single-threaded, matching the mote
+// execution model: TinyOS has one stack and the simulation dispatches one
+// event at a time.
+package core
+
+import "fmt"
+
+// NodeID identifies a node in the network. The paper encodes activity labels
+// as 16-bit integers split between node id and activity id, "sufficient for
+// networks of up to 256 nodes with 256 distinct activity ids".
+type NodeID uint8
+
+// ActivityID is the node-scoped, statically defined identifier of an
+// activity.
+type ActivityID uint8
+
+// Reserved activity ids present on every node.
+const (
+	ActIdle   ActivityID = 0 // no activity; the CPU between jobs
+	ActVTimer ActivityID = 1 // the virtual timer bookkeeping activity
+)
+
+// Label is an activity label: the pair <origin node : activity id> packed in
+// 16 bits, carried on packets and through every control-flow deferral point.
+type Label uint16
+
+// MkLabel builds the label for activity id starting at node origin.
+func MkLabel(origin NodeID, id ActivityID) Label {
+	return Label(uint16(origin)<<8 | uint16(id))
+}
+
+// Origin returns the node where the labeled activity started.
+func (l Label) Origin() NodeID { return NodeID(l >> 8) }
+
+// ID returns the node-scoped activity identifier.
+func (l Label) ID() ActivityID { return ActivityID(l & 0xFF) }
+
+// IsIdle reports whether the label denotes "no activity" regardless of node.
+func (l Label) IsIdle() bool { return l.ID() == ActIdle }
+
+// String formats the label as "origin:id"; use Dictionary.LabelName for the
+// human-readable form ("1:Blue").
+func (l Label) String() string {
+	return fmt.Sprintf("%d:%d", l.Origin(), l.ID())
+}
+
+// ResourceID identifies a hardware resource (an energy sink) on a node. The
+// log entry reserves one byte for it.
+type ResourceID uint8
+
+// PowerState is the operating mode of an energy sink. The log entry reserves
+// 16 bits, allowing either a small enumeration or a packed bit-field that
+// drivers update with SetBits.
+type PowerState uint16

@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Dictionary maps the numeric identifiers appearing in log entries back to
+// human-readable names. Resources are global to a platform; activity names
+// are scoped to the node that defined the activity, so the merged,
+// network-wide dictionary is keyed by (origin node, activity id).
+type Dictionary struct {
+	Resources  map[ResourceID]string
+	Activities map[Label]string
+	proxies    map[Label]bool
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		Resources:  make(map[ResourceID]string),
+		Activities: make(map[Label]string),
+		proxies:    make(map[Label]bool),
+	}
+}
+
+// MarkProxy records that a label is a proxy activity (the static activity of
+// an interrupt routine). The offline accounting uses this to decide which
+// usage a bind entry reassigns.
+func (d *Dictionary) MarkProxy(l Label) { d.proxies[l] = true }
+
+// IsProxy reports whether l is a proxy activity.
+func (d *Dictionary) IsProxy(l Label) bool { return d.proxies[l] }
+
+// Proxies returns a copy of the proxy label set.
+func (d *Dictionary) Proxies() map[Label]bool {
+	out := make(map[Label]bool, len(d.proxies))
+	for k, v := range d.proxies {
+		out[k] = v
+	}
+	return out
+}
+
+// NameResource registers a resource name.
+func (d *Dictionary) NameResource(res ResourceID, name string) {
+	d.Resources[res] = name
+}
+
+// NameActivity registers the name of activity id defined at node origin.
+func (d *Dictionary) NameActivity(origin NodeID, id ActivityID, name string) {
+	d.Activities[MkLabel(origin, id)] = name
+}
+
+// ResourceName returns the registered name, or a numeric fallback.
+func (d *Dictionary) ResourceName(res ResourceID) string {
+	if n, ok := d.Resources[res]; ok {
+		return n
+	}
+	return fmt.Sprintf("res%d", res)
+}
+
+// LabelName renders a label as "origin:Name", the style used in the paper's
+// figures ("1:Blue", "4:BounceApp", "1:int_TIMER").
+func (d *Dictionary) LabelName(l Label) string {
+	if n, ok := d.Activities[l]; ok {
+		return fmt.Sprintf("%d:%s", l.Origin(), n)
+	}
+	if l.ID() == ActIdle {
+		return fmt.Sprintf("%d:Idle", l.Origin())
+	}
+	if l.ID() == ActVTimer {
+		return fmt.Sprintf("%d:VTimer", l.Origin())
+	}
+	return l.String()
+}
+
+// Merge copies every mapping from other into d, with other taking precedence
+// on conflicts. It is used to combine per-node dictionaries into the
+// network-wide one handed to the analysis.
+func (d *Dictionary) Merge(other *Dictionary) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Resources {
+		d.Resources[k] = v
+	}
+	for k, v := range other.Activities {
+		d.Activities[k] = v
+	}
+	for k, v := range other.proxies {
+		d.proxies[k] = v
+	}
+}

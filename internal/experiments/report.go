@@ -1,0 +1,99 @@
+// Package experiments contains one harness per table and figure in the
+// paper's evaluation (Section 4). Each harness runs the corresponding
+// workload on the simulated platform, performs the offline analysis, and
+// renders the same rows or series the paper reports, alongside structured
+// values that the test suite and EXPERIMENTS.md assert against.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/mote"
+)
+
+// Report is the uniform output of an experiment harness.
+type Report struct {
+	// ID identifies the experiment ("table2", "fig13", ...).
+	ID string
+	// Title is the experiment's headline.
+	Title string
+	// Text is the rendered table or series, human-readable.
+	Text string
+	// Values carries headline numbers keyed by stable names, for
+	// programmatic assertions.
+	Values map[string]float64
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	sb.WriteString(r.Text)
+	if len(r.Values) > 0 {
+		sb.WriteString("\n-- values --\n")
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%-36s %.6g\n", k, r.Values[k])
+		}
+	}
+	return sb.String()
+}
+
+// newReport allocates a report.
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Values: make(map[string]float64)}
+}
+
+// analyzeNode runs the default analysis pipeline on one node's log.
+func analyzeNode(w *mote.World, n *mote.Node) (*analysis.Analysis, error) {
+	tr := analysis.NewNodeTrace(n.ID, n.Log.Entries, n.Meter.PulseEnergy(), n.Volts)
+	return analysis.Analyze(tr, w.Dict, analysis.DefaultOptions())
+}
+
+// labelName renders a label through the world dictionary.
+func labelName(w *mote.World, l core.Label) string {
+	if l == analysis.ConstLabel {
+		return "Const."
+	}
+	return w.Dict.LabelName(l)
+}
+
+// All runs every experiment with the given seed and returns the reports in
+// paper order. It is the backbone of cmd/quanto and the benchmark suite.
+func All(seed uint64) ([]*Report, error) {
+	type mk struct {
+		name string
+		fn   func(uint64) (*Report, error)
+	}
+	order := []mk{
+		{"table1", func(uint64) (*Report, error) { return Table1(), nil }},
+		{"fig10", Figure10},
+		{"table2", Table2},
+		{"fig11", Figure11},
+		{"table3", Table3},
+		{"fig12", Figure12},
+		{"fig13", Figure13},
+		{"fig14", Figure14},
+		{"fig15", Figure15},
+		{"fig16", Figure16},
+		{"table4", Table4},
+		{"table5", func(uint64) (*Report, error) { return Table5() }},
+	}
+	var out []*Report
+	for _, m := range order {
+		r, err := m.fn(seed)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", m.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/power"
+)
+
+// Table1 renders the platform's energy sinks, their power states, and the
+// nominal current draws at 3 V / 1 MHz — the reproduction of Table 1.
+func Table1() *Report {
+	r := newReport("table1", "Platform energy sinks, power states, and nominal current draws")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %-16s %12s\n", "Energy Sink", "Power State", "Current")
+	group := ""
+	states := 0
+	sinks := 0
+	for _, sink := range power.Platform() {
+		if sink.Group != group {
+			group = sink.Group
+			fmt.Fprintf(&sb, "%s\n", group)
+		}
+		sinks++
+		for i, st := range sink.States {
+			name := ""
+			if i == 0 {
+				name = sink.Name
+			}
+			fmt.Fprintf(&sb, "  %-20s %-16s %12s\n", name, st.Name, formatCurrent(float64(st.Nominal)))
+			states++
+		}
+	}
+	r.Text = sb.String()
+	r.Values["sinks"] = float64(sinks)
+	r.Values["states"] = float64(states)
+	// Spot values straight from the paper's table for the tests.
+	r.Values["cpu_active_uA"] = float64(power.NominalDraws().Draw(power.ResCPU, power.CPUActive))
+	r.Values["rx_listen_uA"] = float64(power.NominalDraws().Draw(power.ResRadioRx, power.RadioRxListen))
+	r.Values["led0_uA"] = float64(power.NominalDraws().Draw(power.ResLED0, power.StateOn))
+	return r
+}
+
+func formatCurrent(ua float64) string {
+	if ua >= 1000 {
+		return fmt.Sprintf("%.1f mA", ua/1000)
+	}
+	return fmt.Sprintf("%.1f uA", ua)
+}

@@ -1,0 +1,130 @@
+package icount
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestPulseQuantization(t *testing.T) {
+	now := units.Ticks(0)
+	m := New(3.0, func() units.Ticks { return now })
+	// 8.33 uJ per pulse at 3 V: 2.777 mA for 1 ms is one pulse.
+	m.CurrentChanged(0, 2777)
+	now = 1000
+	if p := m.ReadPulses(); p != 1 {
+		t.Errorf("pulses after 1 quantum = %d, want 1", p)
+	}
+	now = 10000
+	if p := m.ReadPulses(); p != 10 {
+		t.Errorf("pulses after 10 quanta = %d, want 10", p)
+	}
+}
+
+func TestEnergyIntegrationAcrossSteps(t *testing.T) {
+	now := units.Ticks(0)
+	m := New(3.0, func() units.Ticks { return now })
+	m.CurrentChanged(0, 1000) // 1 mA
+	now = 500_000
+	m.CurrentChanged(now, 3000) // 3 mA
+	now = 1_000_000
+	// E = 3V * (1mA*0.5s + 3mA*0.5s) = 3 * 2 mC = 6 mJ = 6000 uJ.
+	if e := m.EnergyMicroJoules(); math.Abs(e-6000) > 1e-6 {
+		t.Errorf("energy = %v uJ, want 6000", e)
+	}
+}
+
+func TestReadsAreMonotonic(t *testing.T) {
+	now := units.Ticks(0)
+	m := New(3.0, func() units.Ticks { return now })
+	m.CurrentChanged(0, 5000)
+	prev := uint32(0)
+	for i := 0; i < 1000; i++ {
+		now += 137
+		p := m.ReadPulses()
+		if p < prev {
+			t.Fatalf("pulse counter went backwards: %d -> %d", prev, p)
+		}
+		prev = p
+	}
+	if m.Reads() != 1000 {
+		t.Errorf("Reads = %d", m.Reads())
+	}
+}
+
+func TestBackwardsTimeIgnored(t *testing.T) {
+	now := units.Ticks(1000)
+	m := New(3.0, func() units.Ticks { return now })
+	m.CurrentChanged(1000, 2500)
+	// A listener publishing an older timestamp must not corrupt the
+	// accumulator: neither integrating backwards nor applying the stale
+	// current level forward.
+	m.CurrentChanged(500, 99999)
+	now = 2000
+	// 1 ms at 2.5 mA and 3 V is 7.5 uJ, just under one 8.33 uJ quantum.
+	if p := m.ReadPulses(); p != 0 {
+		t.Errorf("pulses = %d, want 0", p)
+	}
+}
+
+func TestGainDistortsMeasurement(t *testing.T) {
+	mk := func(gain float64) float64 {
+		now := units.Ticks(0)
+		m := New(3.0, func() units.Ticks { return now })
+		m.SetGain(gain)
+		m.CurrentChanged(0, 10000)
+		now = units.Second
+		return m.EnergyMicroJoules()
+	}
+	base := mk(1.0)
+	high := mk(1.15)
+	if math.Abs(high/base-1.15) > 1e-9 {
+		t.Errorf("gain 1.15 scaled energy by %v", high/base)
+	}
+}
+
+func TestSwitchingFrequencyMatchesPaperSlope(t *testing.T) {
+	m := New(3.0, func() units.Ticks { return 0 })
+	// The paper: I_avg[mA] = 2.77 * f[kHz], i.e. f(1 mA) = 0.36 kHz.
+	f := m.SwitchingFrequencyKHz(1000)
+	if math.Abs(f-0.360) > 0.002 {
+		t.Errorf("f(1mA) = %v kHz, want ~0.360", f)
+	}
+	// Inverting: slope = I/f = 2.77 mA/kHz.
+	if slope := 1.0 / f; math.Abs(slope-2.777) > 0.03 {
+		t.Errorf("slope = %v, want ~2.78", slope)
+	}
+}
+
+func TestPulsesToMicroJoules(t *testing.T) {
+	m := New(3.0, func() units.Ticks { return 0 })
+	if e := m.PulsesToMicroJoules(100); math.Abs(e-833) > 1e-9 {
+		t.Errorf("100 pulses = %v uJ", e)
+	}
+}
+
+// TestQuantizationErrorBounded: the counter never deviates from the exact
+// integral by more than one quantum.
+func TestQuantizationErrorBounded(t *testing.T) {
+	f := func(steps []uint16) bool {
+		now := units.Ticks(0)
+		m := New(3.0, func() units.Ticks { return now })
+		var exactUJ float64
+		cur := units.MicroAmps(0)
+		for _, s := range steps {
+			dt := units.Ticks(s%1000) + 1
+			ua := units.MicroAmps(s % 20000)
+			exactUJ += float64(units.Energy(cur, 3.0, dt))
+			now += dt
+			m.CurrentChanged(now, ua)
+			cur = ua
+		}
+		p := float64(m.ReadPulses()) * PulseEnergyMicroJoules
+		return p <= exactUJ+1e-6 && exactUJ-p < PulseEnergyMicroJoules+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

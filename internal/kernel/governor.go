@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// ScheduleDrain implements core.Drainer: the drain work becomes a regular
+// task under the self-accounting label, so Quanto's own logging shows up in
+// the profile like any other activity.
+func (k *Kernel) ScheduleDrain(label core.Label, cycles uint32, work func()) {
+	k.PostLabeled(label, func() {
+		k.Spend(units.Cycles(cycles))
+		work()
+	})
+}
+
+// SchedPolicy selects how the EnergyScheduler picks the next job.
+type SchedPolicy int
+
+// Scheduling policies.
+const (
+	// EqualTime is classic round-robin: jobs take turns regardless of what
+	// they cost.
+	EqualTime SchedPolicy = iota
+	// EqualEnergy picks the job with the least accumulated energy — the
+	// "equal-energy scheduling for threads, rather than equal-time
+	// scheduling" the paper proposes once per-activity energy is known
+	// (Section 5.3).
+	EqualEnergy
+)
+
+// Job is one schedulable unit of application work with its activity label.
+type Job struct {
+	Label core.Label
+	Run   func()
+
+	runs     uint64
+	energyUJ float64
+}
+
+// Runs returns how many times the job executed.
+func (j *Job) Runs() uint64 { return j.runs }
+
+// EnergyUJ returns the energy charged to the job so far.
+func (j *Job) EnergyUJ() float64 { return j.energyUJ }
+
+// EnergyScheduler dispatches a set of jobs on a fixed period under a
+// selectable fairness policy. Energy feedback comes from Quanto: the caller
+// charges each job's measured consumption back with Charge (typically from
+// an analysis.OnlineAccountant fed by the node's tracker).
+type EnergyScheduler struct {
+	k      *Kernel
+	policy SchedPolicy
+	jobs   []*Job
+	timer  *Timer
+	next   int // round-robin cursor
+
+	dispatches uint64
+}
+
+// NewEnergyScheduler creates a scheduler with the given policy.
+func (k *Kernel) NewEnergyScheduler(policy SchedPolicy) *EnergyScheduler {
+	return &EnergyScheduler{k: k, policy: policy}
+}
+
+// AddJob registers a job.
+func (s *EnergyScheduler) AddJob(label core.Label, run func()) *Job {
+	j := &Job{Label: label, Run: run}
+	s.jobs = append(s.jobs, j)
+	return j
+}
+
+// Charge records uj of measured energy against the job owning label.
+func (s *EnergyScheduler) Charge(label core.Label, uj float64) {
+	for _, j := range s.jobs {
+		if j.Label == label {
+			j.energyUJ += uj
+			return
+		}
+	}
+}
+
+// Start begins dispatching one job every period. Must be called from
+// handler context (boot or a task).
+func (s *EnergyScheduler) Start(period units.Ticks) {
+	s.timer = s.k.NewTimer(s.dispatch)
+	s.timer.StartPeriodic(period)
+}
+
+// Stop halts dispatching.
+func (s *EnergyScheduler) Stop() {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// Dispatches returns how many job slots have run.
+func (s *EnergyScheduler) Dispatches() uint64 { return s.dispatches }
+
+func (s *EnergyScheduler) dispatch() {
+	if len(s.jobs) == 0 {
+		return
+	}
+	j := s.pick()
+	s.dispatches++
+	j.runs++
+	s.k.CPUAct.Set(j.Label)
+	j.Run()
+	s.k.CPUAct.SetIdle()
+}
+
+func (s *EnergyScheduler) pick() *Job {
+	switch s.policy {
+	case EqualEnergy:
+		// Least accumulated energy first; ties broken by label for
+		// determinism.
+		idx := make([]int, len(s.jobs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ja, jb := s.jobs[idx[a]], s.jobs[idx[b]]
+			if ja.energyUJ != jb.energyUJ {
+				return ja.energyUJ < jb.energyUJ
+			}
+			return ja.Label < jb.Label
+		})
+		return s.jobs[idx[0]]
+	default:
+		j := s.jobs[s.next%len(s.jobs)]
+		s.next++
+		return j
+	}
+}

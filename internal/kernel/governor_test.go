@@ -1,0 +1,90 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// runSchedulerExperiment runs two jobs for 10 s: job A "costs" 3x job B per
+// run (simulated by the per-run energy the caller charges back).
+func runSchedulerExperiment(t *testing.T, policy SchedPolicy) (runsA, runsB uint64, energyA, energyB float64) {
+	t.Helper()
+	s, k, _ := testNode(t, DefaultOptions())
+	sched := k.NewEnergyScheduler(policy)
+	la := k.DefineActivity("JobA")
+	lb := k.DefineActivity("JobB")
+	var jobA, jobB *Job
+	jobA = sched.AddJob(la, func() {
+		k.Spend(300)
+		sched.Charge(la, 30) // 30 uJ per run
+	})
+	jobB = sched.AddJob(lb, func() {
+		k.Spend(300)
+		sched.Charge(lb, 10) // 10 uJ per run
+	})
+	k.Boot(func() {
+		sched.Start(50 * units.Millisecond)
+	})
+	s.Run(10 * units.Second)
+	return jobA.Runs(), jobB.Runs(), jobA.EnergyUJ(), jobB.EnergyUJ()
+}
+
+func TestEqualTimeSchedulerSplitsRunsEvenly(t *testing.T) {
+	runsA, runsB, energyA, energyB := runSchedulerExperiment(t, EqualTime)
+	if runsA == 0 || runsB == 0 {
+		t.Fatal("jobs did not run")
+	}
+	if d := int64(runsA) - int64(runsB); d < -1 || d > 1 {
+		t.Errorf("round robin runs: A=%d B=%d, want equal", runsA, runsB)
+	}
+	// Equal time means unequal energy: A burns ~3x B.
+	if energyA < 2.5*energyB {
+		t.Errorf("energy A=%.0f B=%.0f; round robin should leave a 3x gap", energyA, energyB)
+	}
+}
+
+func TestEqualEnergySchedulerEqualizesEnergy(t *testing.T) {
+	runsA, runsB, energyA, energyB := runSchedulerExperiment(t, EqualEnergy)
+	if runsA == 0 || runsB == 0 {
+		t.Fatal("jobs did not run")
+	}
+	// Equal energy means B runs ~3x as often as A.
+	ratio := float64(runsB) / float64(runsA)
+	if ratio < 2.2 || ratio > 3.8 {
+		t.Errorf("run ratio B/A = %.2f, want ~3", ratio)
+	}
+	// And the accumulated energies converge.
+	if rel := math.Abs(energyA-energyB) / math.Max(energyA, energyB); rel > 0.15 {
+		t.Errorf("energies A=%.0f B=%.0f uJ, want within 15%%", energyA, energyB)
+	}
+}
+
+func TestEnergySchedulerStop(t *testing.T) {
+	s, k, _ := testNode(t, DefaultOptions())
+	sched := k.NewEnergyScheduler(EqualTime)
+	la := k.DefineActivity("Job")
+	count := 0
+	sched.AddJob(la, func() {
+		count++
+		if count == 3 {
+			sched.Stop()
+		}
+	})
+	k.Boot(func() { sched.Start(10 * units.Millisecond) })
+	s.Run(units.Second)
+	if count != 3 {
+		t.Errorf("runs = %d, want 3 after Stop", count)
+	}
+}
+
+func TestEnergySchedulerNoJobs(t *testing.T) {
+	s, k, _ := testNode(t, DefaultOptions())
+	sched := k.NewEnergyScheduler(EqualEnergy)
+	k.Boot(func() { sched.Start(10 * units.Millisecond) })
+	s.Run(100 * units.Millisecond) // must not panic
+	if sched.Dispatches() != 0 {
+		t.Errorf("dispatches = %d", sched.Dispatches())
+	}
+}

@@ -1,0 +1,79 @@
+// Package leds is the instrumented LED driver. It is the paper's canonical
+// example of a simple device (Figure 2): the driver intercepts on/off calls,
+// signals the power state through the PowerState interface, and paints the
+// LED with the CPU's current activity while it is lit.
+package leds
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/power"
+)
+
+// Count is the number of LEDs on the platform (red, green, blue).
+const Count = 3
+
+// LEDs drives the three platform LEDs.
+type LEDs struct {
+	k   *kernel.Kernel
+	ps  [Count]*core.PowerStateVar
+	act [Count]*core.SingleActivityDevice
+	on  [Count]bool
+}
+
+var resources = [Count]core.ResourceID{power.ResLED0, power.ResLED1, power.ResLED2}
+
+// New registers the LED sinks on the board and returns the driver.
+func New(k *kernel.Kernel, b *power.Board) *LEDs {
+	l := &LEDs{k: k}
+	for i := 0; i < Count; i++ {
+		l.ps[i] = core.NewPowerStateVar(k.Trk, resources[i], power.StateOff)
+		l.act[i] = core.NewSingleActivityDevice(k.Trk, resources[i])
+		b.AddSink(resources[i], power.StateOff)
+	}
+	return l
+}
+
+// On lights LED i on behalf of the CPU's current activity.
+func (l *LEDs) On(i int) {
+	if l.on[i] {
+		return
+	}
+	l.on[i] = true
+	// As in Figure 2: signal the power state change, then set the pin.
+	l.act[i].Set(l.k.CPUAct.Get())
+	l.ps[i].Set(power.StateOn)
+	l.k.Spend(8)
+}
+
+// Off extinguishes LED i and returns it to the idle activity.
+func (l *LEDs) Off(i int) {
+	if !l.on[i] {
+		return
+	}
+	l.on[i] = false
+	l.ps[i].Set(power.StateOff)
+	l.act[i].SetIdle()
+	l.k.Spend(8)
+}
+
+// Toggle flips LED i.
+func (l *LEDs) Toggle(i int) {
+	if l.on[i] {
+		l.Off(i)
+	} else {
+		l.On(i)
+	}
+}
+
+// IsOn reports the state of LED i.
+func (l *LEDs) IsOn(i int) bool { return l.on[i] }
+
+// Set drives LED i to the given state.
+func (l *LEDs) Set(i int, on bool) {
+	if on {
+		l.On(i)
+	} else {
+		l.Off(i)
+	}
+}

@@ -1,0 +1,121 @@
+package leds_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mote"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func TestLEDPowerStatesLogged(t *testing.T) {
+	w, n := mote.NewSingleNode(1)
+	n.K.Boot(func() {
+		n.LEDs.On(0)
+		n.LEDs.Off(0)
+	})
+	w.Run(units.Second)
+	var states []core.PowerState
+	for _, e := range n.Log.Entries {
+		if e.Type == core.EntryPowerState && e.Res == power.ResLED0 {
+			states = append(states, e.State())
+		}
+	}
+	// Initial off, on, off.
+	if len(states) != 3 || states[0] != power.StateOff || states[1] != power.StateOn || states[2] != power.StateOff {
+		t.Errorf("states = %v", states)
+	}
+}
+
+func TestLEDPaintedWithCPUActivity(t *testing.T) {
+	w, n := mote.NewSingleNode(1)
+	act := n.K.DefineActivity("Red")
+	var during, after core.Label
+	n.K.Boot(func() {
+		n.K.CPUAct.Set(act)
+		n.LEDs.On(1)
+		during = ledLabel(n, power.ResLED1)
+		n.LEDs.Off(1)
+		after = ledLabel(n, power.ResLED1)
+		n.K.CPUAct.SetIdle()
+	})
+	w.Run(units.Second)
+	if during != act {
+		t.Errorf("LED activity while on = %v, want %v", during, act)
+	}
+	if !after.IsIdle() {
+		t.Errorf("LED activity after off = %v, want idle", after)
+	}
+}
+
+// ledLabel reads the most recent activity entry for a resource.
+func ledLabel(n *mote.Node, res core.ResourceID) core.Label {
+	var l core.Label
+	for _, e := range n.Log.Entries {
+		if (e.Type == core.EntryActivitySet || e.Type == core.EntryActivityBind) && e.Res == res {
+			l = core.Label(e.Val)
+		}
+	}
+	return l
+}
+
+func TestLEDIdempotentOnOff(t *testing.T) {
+	w, n := mote.NewSingleNode(1)
+	n.K.Boot(func() {
+		n.LEDs.On(2)
+		n.LEDs.On(2) // no-op
+		n.LEDs.Off(2)
+		n.LEDs.Off(2) // no-op
+	})
+	w.Run(units.Second)
+	count := 0
+	for _, e := range n.Log.Entries {
+		if e.Type == core.EntryPowerState && e.Res == power.ResLED2 {
+			count++
+		}
+	}
+	if count != 3 { // initial + on + off
+		t.Errorf("power-state entries = %d, want 3", count)
+	}
+}
+
+func TestLEDCurrentDraw(t *testing.T) {
+	w, n := mote.NewSingleNode(1)
+	n.K.Boot(func() { n.LEDs.On(0) })
+	w.Run(2 * units.Second)
+	w.StampEnd()
+	// LED0 calibrated draw is 2.505 mA on top of the idle floor.
+	idle := power.BaselineMicroAmps + power.CalibratedDraws().Draw(power.ResFlash, power.FlashPowerDown)
+	want := float64(units.Energy(idle+2505, n.Volts, 2*units.Second))
+	got := n.Meter.EnergyMicroJoules()
+	if diff := got - want; diff < -100 || diff > 100 {
+		t.Errorf("energy = %.1f uJ, want ~%.1f", got, want)
+	}
+	if state := n.Board.State(power.ResLED0); state != power.StateOn {
+		t.Errorf("board state = %v", state)
+	}
+	if !n.LEDs.IsOn(0) {
+		t.Error("IsOn(0) = false")
+	}
+}
+
+func TestLEDToggleAndSet(t *testing.T) {
+	w, n := mote.NewSingleNode(1)
+	n.K.Boot(func() {
+		n.LEDs.Toggle(0)
+		if !n.LEDs.IsOn(0) {
+			t.Error("toggle should turn on")
+		}
+		n.LEDs.Toggle(0)
+		if n.LEDs.IsOn(0) {
+			t.Error("toggle should turn off")
+		}
+		n.LEDs.Set(1, true)
+		n.LEDs.Set(1, false)
+		if n.LEDs.IsOn(1) {
+			t.Error("Set(false) failed")
+		}
+	})
+	w.Run(units.Second)
+}

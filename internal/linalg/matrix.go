@@ -1,0 +1,192 @@
+// Package linalg provides the small dense linear-algebra kernel needed for
+// Quanto's offline energy-breakdown regression: matrices, Householder QR,
+// Gaussian elimination, and weighted least squares. It is self-contained
+// (standard library only) and sized for the problem at hand — tens of
+// observations by a handful of predictors — rather than for large-scale
+// numerical work.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal
+// length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: %d != %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("linalg: mul %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols:]
+			orow := out.data[i*out.cols:]
+			for j := 0; j < b.cols; j++ {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v as a vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("linalg: mulvec %dx%d by %d", m.rows, m.cols, len(v)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols:]
+		var s float64
+		for j := 0; j < m.cols; j++ {
+			s += row[j] * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ScaleRows multiplies row i by w[i] in place and returns m.
+func (m *Matrix) ScaleRows(w []float64) *Matrix {
+	if len(w) != m.rows {
+		panic("linalg: weight length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] *= w[i]
+		}
+	}
+	return m
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "%10.4g ", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

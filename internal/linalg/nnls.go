@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// NNLS solves the weighted non-negative least-squares problem
+//
+//	minimize ||diag(sqrt(w)) (X b - y)||  subject to  b >= 0
+//
+// with the Lawson–Hanson active-set algorithm. Power draws are physically
+// non-negative, so constraining the energy-breakdown regression this way
+// prevents the arbitrary positive/negative coefficient splits that plain
+// least squares produces when predictors are nearly collinear (for example
+// a radio whose receive path is on whenever the node is not transmitting).
+func NNLS(x *Matrix, y, w []float64) (*WLSResult, error) {
+	m, n := x.Rows(), x.Cols()
+	if len(y) != m || len(w) != m {
+		return nil, fmt.Errorf("linalg: NNLS dimension mismatch: %dx%d, y=%d, w=%d", m, n, len(y), len(w))
+	}
+	sqw := make([]float64, m)
+	for i, wi := range w {
+		if wi < 0 || math.IsNaN(wi) {
+			return nil, fmt.Errorf("linalg: NNLS negative or NaN weight at row %d", i)
+		}
+		sqw[i] = math.Sqrt(wi)
+	}
+	// Scaled problem: A b ~ c.
+	a := x.Clone().ScaleRows(sqw)
+	c := make([]float64, m)
+	for i := range y {
+		c[i] = y[i] * sqw[i]
+	}
+
+	passive := make([]bool, n)
+	beta := make([]float64, n)
+
+	residual := func(b []float64) []float64 {
+		r := make([]float64, m)
+		copy(r, c)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if b[j] != 0 {
+					r[i] -= a.At(i, j) * b[j]
+				}
+			}
+		}
+		return r
+	}
+
+	gradient := func(r []float64) []float64 {
+		g := make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a.At(i, j) * r[i]
+			}
+			g[j] = s
+		}
+		return g
+	}
+
+	// solvePassive solves the unconstrained LS restricted to the passive
+	// set, zero elsewhere. Columns that make the subproblem singular are
+	// returned to the active (zero) set.
+	solvePassive := func() ([]float64, error) {
+		var cols []int
+		for j := 0; j < n; j++ {
+			if passive[j] {
+				cols = append(cols, j)
+			}
+		}
+		out := make([]float64, n)
+		if len(cols) == 0 {
+			return out, nil
+		}
+		sub := NewMatrix(m, len(cols))
+		for i := 0; i < m; i++ {
+			for k, j := range cols {
+				sub.Set(i, k, a.At(i, j))
+			}
+		}
+		qr, err := NewQR(sub)
+		if err != nil {
+			return nil, err
+		}
+		s, err := qr.Solve(c)
+		if err != nil {
+			return nil, err
+		}
+		for k, j := range cols {
+			out[j] = s[k]
+		}
+		return out, nil
+	}
+
+	const tol = 1e-10
+	maxIter := 3 * n
+	for iter := 0; iter < maxIter; iter++ {
+		r := residual(beta)
+		g := gradient(r)
+		// Find the most promising active column.
+		best, bestVal := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && g[j] > bestVal {
+				best, bestVal = j, g[j]
+			}
+		}
+		if best < 0 {
+			break // KKT satisfied
+		}
+		passive[best] = true
+
+		for inner := 0; inner < maxIter; inner++ {
+			s, err := solvePassive()
+			if err != nil {
+				// The new column is linearly dependent on the current
+				// passive set; drop it and stop considering it.
+				passive[best] = false
+				break
+			}
+			minS := math.Inf(1)
+			for j := 0; j < n; j++ {
+				if passive[j] && s[j] < minS {
+					minS = s[j]
+				}
+			}
+			if minS > tol {
+				copy(beta, s)
+				break
+			}
+			// Step back to the feasibility boundary.
+			alpha := math.Inf(1)
+			for j := 0; j < n; j++ {
+				if passive[j] && s[j] <= tol && beta[j] != s[j] {
+					if a := beta[j] / (beta[j] - s[j]); a < alpha {
+						alpha = a
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					beta[j] += alpha * (s[j] - beta[j])
+					if beta[j] <= tol {
+						beta[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+	}
+
+	fitted := x.MulVec(beta)
+	res := Sub(y, fitted)
+	ny := Norm2(y)
+	relErr := 0.0
+	if ny > 0 {
+		relErr = Norm2(res) / ny
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(m)
+	var ssTot, ssRes float64
+	for i, v := range y {
+		ssTot += (v - mean) * (v - mean)
+		ssRes += res[i] * res[i]
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &WLSResult{Coef: beta, Fitted: fitted, Residuals: res, RelErr: relErr, R2: r2}, nil
+}

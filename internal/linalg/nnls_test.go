@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestNNLSMatchesWLSWhenInterior(t *testing.T) {
+	// A well-conditioned problem with a strictly positive solution: NNLS
+	// must agree with unconstrained WLS.
+	x := FromRows([][]float64{
+		{1, 0, 1},
+		{0, 1, 1},
+		{1, 1, 1},
+		{0, 0, 1},
+		{1, 0, 1},
+		{0, 1, 1},
+	})
+	truth := []float64{2.5, 1.5, 0.8}
+	y := x.MulVec(truth)
+	w := []float64{1, 2, 3, 4, 5, 6}
+	nn, err := NNLS(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := WLS(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range truth {
+		if !almost(nn.Coef[j], ls.Coef[j], 1e-8) || !almost(nn.Coef[j], truth[j], 1e-8) {
+			t.Errorf("coef %d: nnls=%v wls=%v truth=%v", j, nn.Coef[j], ls.Coef[j], truth[j])
+		}
+	}
+}
+
+func TestNNLSClampsNegativeSolution(t *testing.T) {
+	// Data generated so unconstrained LS wants a negative coefficient:
+	// column 2 active exactly when the response *drops*.
+	x := FromRows([][]float64{
+		{1, 0},
+		{1, 1},
+		{1, 0},
+		{1, 1},
+	})
+	y := []float64{10, 7, 10, 7}
+	w := uniformWeights(4)
+	ls, err := WLS(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Coef[1] >= 0 {
+		t.Fatalf("test premise broken: WLS coef = %v", ls.Coef)
+	}
+	nn, err := NNLS(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range nn.Coef {
+		if c < 0 {
+			t.Errorf("NNLS coef %d = %v < 0", j, c)
+		}
+	}
+	// The best non-negative fit sets coef[1] = 0 and the intercept to the
+	// weighted mean.
+	if nn.Coef[1] != 0 {
+		t.Errorf("coef[1] = %v, want 0", nn.Coef[1])
+	}
+	if !almost(nn.Coef[0], 8.5, 1e-9) {
+		t.Errorf("coef[0] = %v, want 8.5", nn.Coef[0])
+	}
+}
+
+func TestNNLSNonNegativityProperty(t *testing.T) {
+	rng := sim.NewRNG(123)
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 10, 4
+		x := NewMatrix(rows, cols)
+		y := make([]float64, rows)
+		w := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if rng.Float64() < 0.5 {
+					x.Set(i, j, 1)
+				}
+			}
+			y[i] = rng.Float64()*20 - 5 // may be negative
+			w[i] = 0.1 + rng.Float64()
+		}
+		res, err := NNLS(x, y, w)
+		if err != nil {
+			continue
+		}
+		for j, c := range res.Coef {
+			if c < 0 {
+				t.Fatalf("trial %d: coef %d = %v < 0", trial, j, c)
+			}
+		}
+		// The *weighted* residual (the optimized quantity) must never beat
+		// the unconstrained optimum.
+		weightedNorm := func(r []float64) float64 {
+			var s float64
+			for i, v := range r {
+				s += w[i] * v * v
+			}
+			return s
+		}
+		if ls, err := WLS(x, y, w); err == nil {
+			if weightedNorm(res.Residuals) < weightedNorm(ls.Residuals)-1e-9 {
+				t.Fatalf("trial %d: NNLS weighted residual beats WLS", trial)
+			}
+		}
+	}
+}
+
+func TestNNLSRecoversPlantedNonNegative(t *testing.T) {
+	rng := sim.NewRNG(321)
+	recovered := 0
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 14, 4
+		x := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols-1; j++ {
+				if rng.Float64() < 0.5 {
+					x.Set(i, j, 1)
+				}
+			}
+			x.Set(i, cols-1, 1)
+		}
+		truth := make([]float64, cols)
+		for j := range truth {
+			truth[j] = rng.Float64() * 10
+		}
+		y := x.MulVec(truth)
+		res, err := NNLS(x, y, uniformWeights(rows))
+		if err != nil {
+			continue
+		}
+		ok := true
+		for j := range truth {
+			if !almost(res.Coef[j], truth[j], 1e-6) {
+				ok = false
+			}
+		}
+		if ok {
+			recovered++
+		}
+	}
+	if recovered < 80 {
+		t.Errorf("recovered planted solution in %d/100 trials", recovered)
+	}
+}
+
+func TestNNLSDimensionChecks(t *testing.T) {
+	x := NewMatrix(3, 2)
+	if _, err := NNLS(x, []float64{1}, []float64{1, 1, 1}); err == nil {
+		t.Error("y mismatch should fail")
+	}
+	if _, err := NNLS(x, []float64{1, 2, 3}, []float64{1, -1, 1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestNNLSZeroColumns(t *testing.T) {
+	// A column never active must get coefficient zero, not break the solve.
+	x := FromRows([][]float64{
+		{1, 0, 1},
+		{0, 0, 1},
+		{1, 0, 1},
+		{0, 0, 1},
+	})
+	y := []float64{5, 2, 5, 2}
+	res, err := NNLS(x, y, uniformWeights(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coef[1] != 0 {
+		t.Errorf("dead column coef = %v", res.Coef[1])
+	}
+	if !almost(res.Coef[0], 3, 1e-9) || !almost(res.Coef[2], 2, 1e-9) {
+		t.Errorf("coef = %v, want [3 0 2]", res.Coef)
+	}
+}

@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a system is (numerically) rank-deficient —
+// in Quanto terms, when the tracked power states never varied independently
+// enough to disambiguate their draws (Section 5.2, "Linear independence").
+var ErrSingular = errors.New("linalg: singular or rank-deficient system")
+
+// SolveGauss solves the square system A x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveGauss(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveGauss wants square system, got %dx%d with b=%d", a.Rows(), a.Cols(), len(b))
+	}
+	// Work on copies.
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		max := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > max {
+				max, pivot = v, r
+			}
+		}
+		if max < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				vc, vp := m.At(col, j), m.At(pivot, j)
+				m.Set(col, j, vp)
+				m.Set(pivot, j, vc)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// QR holds the Householder factorization A = Q R of an m x n matrix with
+// m >= n. It is stored compactly: R in the upper triangle, the Householder
+// vectors below.
+type QR struct {
+	qr   *Matrix
+	tau  []float64
+	rows int
+	cols int
+}
+
+// NewQR factors a (not modified).
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR wants rows >= cols, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		tau[k] = norm
+		// Apply to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau, rows: m, cols: n}, nil
+}
+
+// Solve returns the least-squares solution x minimizing ||A x - b||2.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.rows {
+		return nil, fmt.Errorf("linalg: QR solve rhs length %d != %d", len(b), f.rows)
+	}
+	y := make([]float64, f.rows)
+	copy(y, b)
+	// Apply Q^T.
+	for k := 0; k < f.cols; k++ {
+		var s float64
+		for i := k; i < f.rows; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.rows; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R x = y[:n]. R(k,k) = -tau[k].
+	x := make([]float64, f.cols)
+	for i := f.cols - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.cols; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := -f.tau[i]
+		if math.Abs(d) < 1e-12 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

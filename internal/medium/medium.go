@@ -1,0 +1,227 @@
+// Package medium models the shared 2.4 GHz RF environment: frame delivery
+// between motes on 802.15.4 channels and wideband 802.11 interference that
+// leaks energy into overlapping 802.15.4 channels.
+//
+// The propagation model is intentionally simple — every registered node
+// hears every other node on the same channel, delivery is instantaneous at
+// the speed-of-light scale of a testbed — because the experiments that use
+// it (Bounce, the LPL interference study) depend on timing and spectral
+// overlap, not on path loss.
+package medium
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// ChannelFreqMHz returns the center frequency of an 802.15.4 channel
+// (11..26): 2405 + 5*(ch-11) MHz. Channel 26 is 2480 MHz, the farthest from
+// 802.11b channel 6, exactly as the paper's experiment is set up.
+func ChannelFreqMHz(ch int) float64 { return 2405 + 5*float64(ch-11) }
+
+// WiFiFreqMHz returns the center frequency of an 802.11b/g channel (1..13):
+// 2407 + 5*ch MHz; channel 6 is 2437 MHz.
+func WiFiFreqMHz(ch int) float64 { return 2407 + 5*float64(ch) }
+
+// SpectralOverlap returns the fraction of a 2 MHz-wide 802.15.4 channel
+// covered by a 22 MHz-wide 802.11 transmission.
+func SpectralOverlap(wifiCenterMHz, panCenterMHz float64) float64 {
+	wifiLo, wifiHi := wifiCenterMHz-11, wifiCenterMHz+11
+	panLo, panHi := panCenterMHz-1, panCenterMHz+1
+	lo, hi := max64(wifiLo, panLo), min64(wifiHi, panHi)
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / (panHi - panLo)
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Frame is one 802.15.4 frame in flight.
+type Frame struct {
+	Src     core.NodeID
+	Channel int
+	Bytes   int         // full frame length including header
+	Airtime units.Ticks // transmission duration
+	Payload any         // link-layer packet (an *am.Packet in this repo)
+	SentAt  units.Ticks
+}
+
+// Receiver is the radio-side interface for frame delivery.
+type Receiver interface {
+	// Node identifies the receiver.
+	Node() core.NodeID
+	// FrameStart announces that a frame began arriving now; the frame's
+	// last bit lands at SentAt+Airtime. Receivers not listening on
+	// f.Channel simply ignore it.
+	FrameStart(f *Frame)
+}
+
+// Medium is the shared channel.
+type Medium struct {
+	s         *sim.Simulator
+	receivers []Receiver
+	wifi      []*WiFiSource
+
+	active []*Frame // transmissions currently in the air
+
+	frames uint64
+}
+
+// New creates an empty medium on simulator s.
+func New(s *sim.Simulator) *Medium { return &Medium{s: s} }
+
+// Register adds a receiver (a node's radio).
+func (m *Medium) Register(r Receiver) { m.receivers = append(m.receivers, r) }
+
+// AddWiFi attaches an interference source.
+func (m *Medium) AddWiFi(w *WiFiSource) { m.wifi = append(m.wifi, w) }
+
+// Frames returns the number of frames transmitted so far.
+func (m *Medium) Frames() uint64 { return m.frames }
+
+// Transmit puts f on the air starting now. Each in-range receiver gets a
+// FrameStart immediately; the frame stays "active" for collision/energy
+// queries until its airtime elapses.
+func (m *Medium) Transmit(f *Frame) {
+	f.SentAt = m.s.Now()
+	m.frames++
+	m.active = append(m.active, f)
+	m.s.Schedule(f.SentAt+f.Airtime, sim.PrioHardware, func() { m.expire(f) })
+	for _, r := range m.receivers {
+		if r.Node() == f.Src {
+			continue
+		}
+		r.FrameStart(f)
+	}
+}
+
+func (m *Medium) expire(f *Frame) {
+	for i, g := range m.active {
+		if g == f {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// EnergyOn reports the normalized interference+traffic energy present on an
+// 802.15.4 channel at time t: 1.0 for a co-channel mote transmission, the
+// spectral overlap fraction for an active WiFi burst, 0 for a clear
+// channel. A clear-channel-assessment against a threshold is a comparison
+// on this value.
+func (m *Medium) EnergyOn(ch int, t units.Ticks) float64 {
+	var e float64
+	for _, f := range m.active {
+		if f.Channel == ch {
+			e += 1.0
+		}
+	}
+	panFreq := ChannelFreqMHz(ch)
+	for _, w := range m.wifi {
+		if w.ActiveAt(t) {
+			e += SpectralOverlap(WiFiFreqMHz(w.Channel), panFreq)
+		}
+	}
+	return e
+}
+
+// WiFiSource models an 802.11b/g access point plus its clients as a bursty
+// on/off process: bursts of mean BurstMean separated by idle gaps of mean
+// GapMean, both jittered deterministically. The paper placed the mote 10 cm
+// from the AP, so every burst is far above the CCA threshold; only the
+// spectral overlap attenuates it.
+type WiFiSource struct {
+	Channel   int
+	BurstMean units.Ticks
+	GapMean   units.Ticks
+
+	rng    *sim.RNG
+	bursts []burst // generated lazily, in time order
+	genT   units.Ticks
+}
+
+type burst struct{ start, end units.Ticks }
+
+// NewWiFiSource creates a source on the given 802.11 channel with the given
+// duty pattern. With BurstMean=5ms and GapMean=23ms the long-run duty cycle
+// is ~18%, which reproduces the paper's 17.8% false-positive rate for
+// 500 ms-spaced CCA checks on an overlapping channel.
+func NewWiFiSource(channel int, burstMean, gapMean units.Ticks, seed uint64) *WiFiSource {
+	return &WiFiSource{
+		Channel:   channel,
+		BurstMean: burstMean,
+		GapMean:   gapMean,
+		rng:       sim.NewRNG(seed),
+	}
+}
+
+// ActiveAt reports whether a burst is in progress at time t.
+func (w *WiFiSource) ActiveAt(t units.Ticks) bool {
+	w.ensure(t)
+	// Binary search for the burst containing t.
+	lo, hi := 0, len(w.bursts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.bursts[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(w.bursts) && w.bursts[lo].start <= t
+}
+
+// DutyCycle returns the fraction of [t0, t1) covered by bursts.
+func (w *WiFiSource) DutyCycle(t0, t1 units.Ticks) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	w.ensure(t1)
+	var on units.Ticks
+	for _, b := range w.bursts {
+		if b.end <= t0 || b.start >= t1 {
+			continue
+		}
+		s, e := b.start, b.end
+		if s < t0 {
+			s = t0
+		}
+		if e > t1 {
+			e = t1
+		}
+		on += e - s
+	}
+	return float64(on) / float64(t1-t0)
+}
+
+func (w *WiFiSource) ensure(t units.Ticks) {
+	for w.genT <= t {
+		gap := w.jitter(w.GapMean)
+		length := w.jitter(w.BurstMean)
+		start := w.genT + gap
+		w.bursts = append(w.bursts, burst{start: start, end: start + length})
+		w.genT = start + length
+	}
+}
+
+// jitter returns a duration uniform in [mean/2, 3*mean/2).
+func (w *WiFiSource) jitter(mean units.Ticks) units.Ticks {
+	if mean <= 1 {
+		return mean
+	}
+	return mean/2 + w.rng.Ticks(mean)
+}

@@ -1,0 +1,246 @@
+// Package mote assembles complete simulated HydroWatch nodes: the board
+// (energy sinks + supply), the iCount meter, the oscilloscope bench, the
+// TinyOS-like kernel, and the instrumented device drivers, all wired to a
+// Quanto tracker. A World groups nodes around one simulator and one shared
+// RF medium, which is how the multi-node experiments (Bounce) run.
+package mote
+
+import (
+	"repro/internal/am"
+	"repro/internal/core"
+	"repro/internal/flash"
+	"repro/internal/icount"
+	"repro/internal/kernel"
+	"repro/internal/leds"
+	"repro/internal/medium"
+	"repro/internal/power"
+	"repro/internal/radio"
+	"repro/internal/scope"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Options configures one node.
+type Options struct {
+	// Volts is the supply voltage (3.0 V by default; the paper's LPL mote
+	// ran from a 3.35 V regulator).
+	Volts units.Volts
+	// Draws is the physical draw table; nil selects CalibratedDraws.
+	Draws power.DrawTable
+	// Kernel carries the OS options (sleep state, DCO calibration, costs).
+	Kernel kernel.Options
+	// ScopeRipple is the oscilloscope's relative sampling noise (default
+	// 0.4%).
+	ScopeRipple float64
+	// MeterGain distorts the iCount measurement (1.0 = calibrated).
+	MeterGain float64
+	// Radio enables the transceiver and Active Message stack.
+	Radio bool
+	// RadioConfig configures the transceiver when Radio is set.
+	RadioConfig radio.Config
+	// RAMBufferEntries, when positive, routes the log through a fixed
+	// mote-style RAM buffer of that many entries in addition to the
+	// harness-side collector, so buffer-full behaviour can be observed.
+	RAMBufferEntries int
+	// ContinuousDrain selects the paper's second logging mode: entries
+	// buffer in RAM and a low-priority task streams them out under a
+	// self-accounting "Quanto" activity (Section 4.4). Incompatible with
+	// RAMBufferEntries.
+	ContinuousDrain bool
+	// DrainCostPerEntry is the CPU cost of pushing one entry over the back
+	// channel in continuous mode (default 120 cycles).
+	DrainCostPerEntry uint32
+}
+
+// DefaultOptions returns the standard single-node configuration.
+func DefaultOptions() Options {
+	return Options{
+		Volts:       3.0,
+		ScopeRipple: 0.004,
+		MeterGain:   1.0,
+		Kernel:      kernel.DefaultOptions(),
+	}
+}
+
+// Node is one fully assembled mote.
+type Node struct {
+	ID    core.NodeID
+	K     *kernel.Kernel
+	Trk   *core.Tracker
+	Board *power.Board
+	Meter *icount.Meter
+	Scope *scope.Scope
+	Log   *core.Collector
+	RAM   *core.RAMBuffer // nil unless RAMBufferEntries or ContinuousDrain was set
+	Drain *core.DrainSink // nil unless ContinuousDrain was set
+
+	LEDs   *leds.LEDs
+	Sensor *sensor.SHT11
+	Flash  *flash.Flash
+	Radio  *radio.Radio // nil unless Options.Radio
+	AM     *am.AM       // nil unless Options.Radio
+
+	Volts units.Volts
+}
+
+// World is a set of nodes sharing a simulator, an RF medium, and a merged
+// name dictionary.
+type World struct {
+	Sim    *sim.Simulator
+	Medium *medium.Medium
+	Dict   *core.Dictionary
+	Nodes  []*Node
+
+	seed uint64
+}
+
+// NewWorld creates an empty world. The seed drives every stochastic element
+// (backoff, interference, measurement ripple) deterministically.
+func NewWorld(seed uint64) *World {
+	s := sim.New()
+	return &World{
+		Sim:    s,
+		Medium: medium.New(s),
+		Dict:   core.NewDictionary(),
+		seed:   seed,
+	}
+}
+
+// AddNode assembles a node with the given id and options and registers it in
+// the world.
+func (w *World) AddNode(id core.NodeID, opts Options) *Node {
+	if opts.Volts == 0 {
+		opts.Volts = 3.0
+	}
+	if opts.Draws == nil {
+		opts.Draws = power.CalibratedDraws()
+	}
+	if opts.MeterGain == 0 {
+		opts.MeterGain = 1.0
+	}
+	if opts.ScopeRipple == 0 {
+		opts.ScopeRipple = 0.004
+	}
+	if opts.Kernel == (kernel.Options{}) {
+		opts.Kernel = kernel.DefaultOptions()
+	}
+
+	k := kernel.New(w.Sim, id, w.Dict, opts.Kernel, w.seed)
+
+	meter := icount.New(opts.Volts, k.NowTicks)
+	meter.SetGain(opts.MeterGain)
+	board := power.NewBoard(opts.Volts, opts.Draws, k.NowTicks)
+	bench := scope.New(opts.ScopeRipple, w.seed^(uint64(id)<<40)^0x5C09E)
+
+	log := core.NewCollector()
+	var sink core.Sink = log
+	var ram *core.RAMBuffer
+	var drain *core.DrainSink
+	switch {
+	case opts.ContinuousDrain:
+		cost := opts.DrainCostPerEntry
+		if cost == 0 {
+			cost = 120
+		}
+		quantoAct := k.DefineActivity("Quanto")
+		ram = core.NewRAMBuffer(core.DefaultRAMBufferEntries)
+		drain = core.NewDrainSink(ram, log, k, quantoAct, 64, cost)
+		sink = drain
+	case opts.RAMBufferEntries > 0:
+		ram = core.NewRAMBuffer(opts.RAMBufferEntries)
+		sink = &core.Tee{Sinks: []core.Sink{log, ram}}
+	}
+
+	trk := core.NewTracker(core.Config{
+		Node:  id,
+		Clock: k,
+		Meter: meter,
+		Cost:  k,
+		Sink:  sink,
+	})
+	trk.ListenPowerStates(board)
+
+	// Physical wiring: the board publishes aggregate current to the meter
+	// and the bench.
+	board.Listen(meter)
+	board.Listen(bench)
+
+	// Resource names for reports.
+	for res, name := range power.ResourceNames() {
+		w.Dict.NameResource(res, name)
+	}
+
+	// The always-on board draw and the CPU.
+	board.AddSink(power.ResBaseline, power.StateOff)
+	k.Attach(trk)
+	board.AddSink(power.ResCPU, opts.Kernel.SleepState)
+
+	n := &Node{
+		ID:    id,
+		K:     k,
+		Trk:   trk,
+		Board: board,
+		Meter: meter,
+		Scope: bench,
+		Log:   log,
+		RAM:   ram,
+		Drain: drain,
+		Volts: opts.Volts,
+	}
+
+	n.LEDs = leds.New(k, board)
+	n.Sensor = sensor.New(k, board)
+	n.Flash = flash.New(k, board)
+
+	if opts.Radio {
+		n.Radio = radio.New(k, w.Medium, board, opts.RadioConfig)
+		n.AM = am.New(k, n.Radio)
+	}
+
+	w.Nodes = append(w.Nodes, n)
+	return n
+}
+
+// StampEnd writes a final marker entry on every node so offline analysis can
+// close the last interval with an exact time and energy reading, and flushes
+// any continuous-drain buffers so the collector holds the complete stream.
+// Call it after Run.
+func (w *World) StampEnd() {
+	for _, n := range w.Nodes {
+		n.Trk.Marker(power.ResBaseline, 0xFFFF)
+		if n.Drain != nil {
+			n.Drain.Flush()
+		}
+	}
+}
+
+// Node returns the node with the given id, or nil.
+func (w *World) Node(id core.NodeID) *Node {
+	for _, n := range w.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation until the given time.
+func (w *World) Run(until units.Ticks) { w.Sim.Run(until) }
+
+// NodeLogs gathers every node's collected entries for merging and analysis.
+func (w *World) NodeLogs() map[core.NodeID][]core.Entry {
+	out := make(map[core.NodeID][]core.Entry, len(w.Nodes))
+	for _, n := range w.Nodes {
+		out[n.ID] = n.Log.Entries
+	}
+	return out
+}
+
+// NewSingleNode is the quickstart helper: one node, id 1, default options,
+// no radio.
+func NewSingleNode(seed uint64) (*World, *Node) {
+	w := NewWorld(seed)
+	n := w.AddNode(1, DefaultOptions())
+	return w, n
+}

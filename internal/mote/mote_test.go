@@ -1,0 +1,136 @@
+package mote
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/radio"
+	"repro/internal/units"
+)
+
+func TestSingleNodeAssembly(t *testing.T) {
+	w, n := NewSingleNode(1)
+	if n.K == nil || n.Board == nil || n.Meter == nil || n.Scope == nil || n.Log == nil {
+		t.Fatal("incomplete node")
+	}
+	if n.LEDs == nil || n.Sensor == nil || n.Flash == nil {
+		t.Fatal("missing drivers")
+	}
+	if n.Radio != nil || n.AM != nil {
+		t.Error("radio should be absent by default")
+	}
+	if w.Node(1) != n || w.Node(9) != nil {
+		t.Error("Node lookup broken")
+	}
+}
+
+func TestIdleNodeDrawsBaselineOnly(t *testing.T) {
+	w, n := NewSingleNode(1)
+	w.Run(10 * units.Second)
+	w.StampEnd()
+	// With nothing running, the node draws the board baseline plus the
+	// flash chip's 9 uA power-down trickle (Table 1).
+	idle := power.BaselineMicroAmps + power.CalibratedDraws().Draw(power.ResFlash, power.FlashPowerDown)
+	wantUJ := float64(units.Energy(idle, n.Volts, 10*units.Second))
+	gotUJ := n.Meter.EnergyMicroJoules()
+	if diff := gotUJ - wantUJ; diff < -50 || diff > 50 {
+		t.Errorf("idle energy = %.1f uJ, want ~%.1f", gotUJ, wantUJ)
+	}
+}
+
+func TestRAMBufferOptionFillsAndDrops(t *testing.T) {
+	w := NewWorld(1)
+	opts := DefaultOptions()
+	opts.RAMBufferEntries = 16
+	n := w.AddNode(1, opts)
+	// Generate more than 16 entries by toggling an LED a lot.
+	n.K.Boot(func() {
+		tm := n.K.NewTimer(func() { n.LEDs.Toggle(0) })
+		tm.StartPeriodic(50 * units.Millisecond)
+	})
+	w.Run(3 * units.Second)
+	if n.RAM == nil {
+		t.Fatal("RAM buffer absent")
+	}
+	if !n.RAM.Full() {
+		t.Errorf("RAM buffer should be full: %d entries", n.RAM.Len())
+	}
+	if n.Trk.Dropped() == 0 {
+		t.Error("tracker should have counted drops once the buffer filled")
+	}
+	// The unbounded collector still has the full stream.
+	if n.Log.Len() <= n.RAM.Len() {
+		t.Errorf("collector %d <= RAM %d", n.Log.Len(), n.RAM.Len())
+	}
+}
+
+func TestWorldNodeLogsAndStampEnd(t *testing.T) {
+	w := NewWorld(5)
+	optsA := DefaultOptions()
+	optsA.Radio = true
+	optsA.RadioConfig = radio.Config{Channel: 26}
+	a := w.AddNode(1, optsA)
+	b := w.AddNode(2, DefaultOptions())
+	w.Run(units.Second)
+	w.StampEnd()
+	logs := w.NodeLogs()
+	if len(logs) != 2 {
+		t.Fatalf("logs for %d nodes", len(logs))
+	}
+	for id, entries := range logs {
+		if len(entries) == 0 {
+			t.Errorf("node %d has empty log", id)
+		}
+		last := entries[len(entries)-1]
+		if last.Type != core.EntryMarker {
+			t.Errorf("node %d log does not end with the end marker", id)
+		}
+	}
+	_ = a
+	_ = b
+}
+
+func TestPerNodeMetersAreIndependent(t *testing.T) {
+	w := NewWorld(3)
+	a := w.AddNode(1, DefaultOptions())
+	b := w.AddNode(2, DefaultOptions())
+	// Only node 1 lights an LED.
+	a.K.Boot(func() {
+		a.LEDs.On(0)
+	})
+	w.Run(5 * units.Second)
+	ea := a.Meter.EnergyMicroJoules()
+	eb := b.Meter.EnergyMicroJoules()
+	if ea <= eb {
+		t.Errorf("node with LED on used %.1f uJ <= idle node's %.1f uJ", ea, eb)
+	}
+}
+
+func TestVoltageAffectsEnergyNotCurrent(t *testing.T) {
+	run := func(volts units.Volts) float64 {
+		w := NewWorld(9)
+		opts := DefaultOptions()
+		opts.Volts = volts
+		n := w.AddNode(1, opts)
+		n.K.Boot(func() { n.LEDs.On(2) })
+		w.Run(2 * units.Second)
+		return n.Meter.EnergyMicroJoules()
+	}
+	e30 := run(3.0)
+	e335 := run(3.35)
+	if e335 <= e30 {
+		t.Errorf("energy at 3.35V (%.1f) should exceed 3.0V (%.1f)", e335, e30)
+	}
+}
+
+func TestDictionarySharedAcrossNodes(t *testing.T) {
+	w := NewWorld(2)
+	a := w.AddNode(1, DefaultOptions())
+	b := w.AddNode(4, DefaultOptions())
+	la := a.K.DefineActivity("AppA")
+	lb := b.K.DefineActivity("AppB")
+	if w.Dict.LabelName(la) != "1:AppA" || w.Dict.LabelName(lb) != "4:AppB" {
+		t.Errorf("names = %q, %q", w.Dict.LabelName(la), w.Dict.LabelName(lb))
+	}
+}

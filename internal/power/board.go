@@ -1,0 +1,94 @@
+package power
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// CurrentListener observes changes in the board's aggregate current draw.
+// The iCount meter and the oscilloscope bench implement it.
+type CurrentListener interface {
+	// CurrentChanged reports that from time t onward the board draws total.
+	CurrentChanged(t units.Ticks, total units.MicroAmps)
+}
+
+// Board models the electrical reality of one node: given the power states of
+// all its energy sinks and a draw table, it maintains the aggregate current
+// flowing from the supply. It implements core.PowerStateListener, so wiring
+// it to a node's Tracker makes every driver-signaled state change
+// immediately visible to the meters.
+type Board struct {
+	volts  units.Volts
+	draws  DrawTable
+	now    func() units.Ticks
+	states map[core.ResourceID]core.PowerState
+	order  []core.ResourceID // stable iteration for deterministic sums
+
+	listeners []CurrentListener
+}
+
+// NewBoard creates a board powered at volts using the given physical draw
+// table; now supplies simulated time.
+func NewBoard(volts units.Volts, draws DrawTable, now func() units.Ticks) *Board {
+	return &Board{
+		volts:  volts,
+		draws:  draws,
+		now:    now,
+		states: make(map[core.ResourceID]core.PowerState),
+	}
+}
+
+// Volts returns the supply voltage.
+func (b *Board) Volts() units.Volts { return b.volts }
+
+// AddSink registers an energy sink in state initial. Registration order does
+// not affect results: the total is summed in resource-id order.
+func (b *Board) AddSink(res core.ResourceID, initial core.PowerState) {
+	if _, ok := b.states[res]; !ok {
+		b.order = append(b.order, res)
+		sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+	}
+	b.states[res] = initial
+	b.publish()
+}
+
+// Listen registers a current listener and immediately informs it of the
+// present draw.
+func (b *Board) Listen(l CurrentListener) {
+	b.listeners = append(b.listeners, l)
+	l.CurrentChanged(b.now(), b.Current())
+}
+
+// PowerStateChanged implements core.PowerStateListener.
+func (b *Board) PowerStateChanged(res core.ResourceID, old, now core.PowerState) {
+	if _, ok := b.states[res]; !ok {
+		b.order = append(b.order, res)
+		sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+	}
+	b.states[res] = now
+	b.publish()
+}
+
+// Current returns the instantaneous aggregate draw. It is recomputed from
+// scratch on every query so repeated transitions cannot accumulate
+// floating-point drift.
+func (b *Board) Current() units.MicroAmps {
+	var total units.MicroAmps
+	for _, res := range b.order {
+		total += b.draws.Draw(res, b.states[res])
+	}
+	return total
+}
+
+// State returns the recorded power state of res.
+func (b *Board) State(res core.ResourceID) core.PowerState { return b.states[res] }
+
+func (b *Board) publish() {
+	t := b.now()
+	cur := b.Current()
+	for _, l := range b.listeners {
+		l.CurrentChanged(t, cur)
+	}
+}

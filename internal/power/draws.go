@@ -1,0 +1,75 @@
+package power
+
+import (
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// DrawKey identifies one (sink, state) pair in a draw table.
+type DrawKey struct {
+	Res   core.ResourceID
+	State core.PowerState
+}
+
+// DrawTable maps (sink, state) to the current that configuration draws.
+// States absent from the table draw zero (their consumption, if any, is part
+// of the board baseline).
+type DrawTable map[DrawKey]units.MicroAmps
+
+// Draw looks up the draw for (res, st), defaulting to zero.
+func (d DrawTable) Draw(res core.ResourceID, st core.PowerState) units.MicroAmps {
+	return d[DrawKey{res, st}]
+}
+
+// Clone returns a copy of the table.
+func (d DrawTable) Clone() DrawTable {
+	out := make(DrawTable, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// BaselineMicroAmps is the calibrated always-on board draw: quiescent
+// switching regulator, supply network and the MCU asleep. The paper's
+// regressions report it as the constant term — 0.79 mA in the Table 2
+// calibration and 0.83 mA in the Table 3 run; we pick a value in between.
+const BaselineMicroAmps units.MicroAmps = 800
+
+// NominalDraws builds a draw table from the Table 1 datasheet values. CPU
+// sleep draw is kept explicit (2.6 uA in LPM3).
+func NominalDraws() DrawTable {
+	t := make(DrawTable)
+	for _, sink := range Platform() {
+		for _, st := range sink.States {
+			t[DrawKey{sink.Res, st.State}] = st.Nominal
+		}
+	}
+	t[DrawKey{ResBaseline, StateOff}] = 0
+	return t
+}
+
+// CalibratedDraws builds the draw table the simulation uses as physical
+// ground truth. It starts from the datasheet values and overrides the sinks
+// the paper measured on its HydroWatch board:
+//
+//   - LEDs: Table 2/3 regressions found 2.50/2.51, 2.23/2.24 and 0.83 mA —
+//     roughly half the datasheet values (the LEDs are driven through
+//     current-limiting resistors).
+//   - CPU active: Table 3(b) reports 1.43 mA above baseline when running.
+//   - Radio listen: Section 4.3 measured 18.46 mA for LPL listening.
+//   - The board baseline replaces the individual deep-sleep trickle draws,
+//     which the regressions cannot separate from the constant anyway.
+func CalibratedDraws() DrawTable {
+	t := NominalDraws()
+	t[DrawKey{ResLED0, StateOn}] = 2505
+	t[DrawKey{ResLED1, StateOn}] = 2235
+	t[DrawKey{ResLED2, StateOn}] = 830
+	t[DrawKey{ResCPU, CPUActive}] = 1430
+	// Sleep states fold into the board baseline.
+	t[DrawKey{ResCPU, CPUSleep}] = 0
+	t[DrawKey{ResCPU, CPULPM4}] = 0
+	t[DrawKey{ResRadioRx, RadioRxListen}] = 18460
+	t[DrawKey{ResBaseline, StateOff}] = BaselineMicroAmps
+	return t
+}

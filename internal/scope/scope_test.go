@@ -1,0 +1,156 @@
+package scope
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMeanCurrentPiecewise(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(0, 1000)
+	s.CurrentChanged(500_000, 3000)
+	// Mean over [0, 1s) = (1mA*0.5 + 3mA*0.5) = 2 mA.
+	if m := s.MeanCurrent(0, units.Second); math.Abs(float64(m)-2000) > 1e-9 {
+		t.Errorf("mean = %v uA, want 2000", m)
+	}
+	// Mean over the second half only.
+	if m := s.MeanCurrent(500_000, units.Second); math.Abs(float64(m)-3000) > 1e-9 {
+		t.Errorf("mean = %v uA, want 3000", m)
+	}
+	// Window straddling a step.
+	if m := s.MeanCurrent(250_000, 750_000); math.Abs(float64(m)-2000) > 1e-9 {
+		t.Errorf("mean = %v uA, want 2000", m)
+	}
+}
+
+func TestMeanCurrentBeforeFirstStepIsZero(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(1000, 5000)
+	if m := s.MeanCurrent(0, 1000); m != 0 {
+		t.Errorf("mean before first step = %v", m)
+	}
+}
+
+func TestSameInstantStepsKeepLast(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(100, 1000)
+	s.CurrentChanged(100, 2000)
+	s.CurrentChanged(100, 7000)
+	if len(s.Steps()) != 1 {
+		t.Fatalf("steps = %d, want 1 (coalesced)", len(s.Steps()))
+	}
+	if m := s.MeanCurrent(100, 200); math.Abs(float64(m)-7000) > 1e-9 {
+		t.Errorf("mean = %v, want 7000", m)
+	}
+}
+
+func TestEnergyMatchesChargeTimesVoltage(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(0, 2000)
+	// 2 mA for 1 s at 3 V: charge 2 mC, energy 6 mJ.
+	uc := s.ChargeMicroCoulombs(0, units.Second)
+	if math.Abs(uc-2000) > 1e-9 {
+		t.Errorf("charge = %v uC, want 2000", uc)
+	}
+	uj := s.EnergyMicroJoules(3.0, 0, units.Second)
+	if math.Abs(uj-6000) > 1e-9 {
+		t.Errorf("energy = %v uJ, want 6000", uj)
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(0, 1000)
+	if s.ChargeMicroCoulombs(100, 100) != 0 {
+		t.Error("empty window should integrate to 0")
+	}
+	if s.MeanCurrent(100, 50) != 0 {
+		t.Error("inverted window should report 0")
+	}
+}
+
+func TestSamplesNoiseStatistics(t *testing.T) {
+	s := New(0.01, 42) // 1% ripple
+	s.CurrentChanged(0, 10000)
+	samples := s.Samples(0, units.Second, units.Millisecond)
+	if len(samples) != 1000 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	var sum, sum2 float64
+	for _, smp := range samples {
+		v := float64(smp.I)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(len(samples))
+	sd := math.Sqrt(sum2/float64(len(samples)) - mean*mean)
+	if math.Abs(mean-10000) > 50 {
+		t.Errorf("sample mean = %v, want ~10000", mean)
+	}
+	if sd < 50 || sd > 200 {
+		t.Errorf("sample sd = %v, want ~100 (1%%)", sd)
+	}
+}
+
+func TestMeasuredMeanIsNoisyButUnbiased(t *testing.T) {
+	s := New(0.005, 7)
+	s.CurrentChanged(0, 2500)
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += float64(s.MeasuredMean(0, units.Second))
+	}
+	if mean := sum / n; math.Abs(mean-2500) > 10 {
+		t.Errorf("measured mean = %v, want ~2500", mean)
+	}
+}
+
+func TestPulseTimesMatchEnergyRate(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(0, 2777) // ~1 pulse per ms at 3 V
+	pulses := s.PulseTimes(3.0, 8.33, 0, 10_000)
+	if len(pulses) != 10 {
+		t.Fatalf("pulses = %d, want 10", len(pulses))
+	}
+	// Uniform spacing ~1000 us.
+	for i := 1; i < len(pulses); i++ {
+		gap := pulses[i] - pulses[i-1]
+		if gap < 995 || gap > 1005 {
+			t.Errorf("gap %d = %v, want ~1000", i, gap)
+		}
+	}
+}
+
+func TestPulseTimesAcrossStateChange(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(0, 2777)      // 1 pulse/ms
+	s.CurrentChanged(5000, 2*2777) // 2 pulses/ms
+	pulses := s.PulseTimes(3.0, 8.33, 0, 10_000)
+	// 5 pulses in the first 5 ms, ~10 in the next 5 ms.
+	if len(pulses) < 14 || len(pulses) > 16 {
+		t.Errorf("pulses = %d, want ~15", len(pulses))
+	}
+	// Frequency doubles after the step: gaps shrink.
+	var early, late units.Ticks
+	for i := 1; i < len(pulses); i++ {
+		if pulses[i] < 5000 {
+			early = pulses[i] - pulses[i-1]
+		} else if pulses[i-1] >= 5000 {
+			late = pulses[i] - pulses[i-1]
+			break
+		}
+	}
+	if late == 0 || early == 0 || late > early {
+		t.Errorf("gaps: early=%v late=%v, want late < early", early, late)
+	}
+}
+
+func TestPulseTimesZeroCurrent(t *testing.T) {
+	s := New(0, 1)
+	s.CurrentChanged(0, 0)
+	if got := s.PulseTimes(3.0, 8.33, 0, units.Second); len(got) != 0 {
+		t.Errorf("pulses with no draw = %d", len(got))
+	}
+}

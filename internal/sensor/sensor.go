@@ -1,0 +1,90 @@
+// Package sensor models an SHT11-like digital humidity/temperature sensor
+// and its instrumented driver — one of the two device drivers the paper
+// lists as instrumented (Table 5).
+//
+// A measurement is asynchronous: the driver requests the shared bus through
+// the arbiter (which transfers the requester's activity to the sensor),
+// starts a conversion, and a completion interrupt delivers the result. The
+// driver "stores locally both the state required to process the interrupt
+// and the activity to which this processing should be assigned", so the
+// completion proxy binds to the right activity.
+package sensor
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Conversion times, modeled on the SHT11 datasheet (12/14-bit conversions).
+const (
+	HumidityTime    units.Ticks = 55 * units.Millisecond
+	TemperatureTime units.Ticks = 75 * units.Millisecond
+)
+
+// SHT11 is the sensor driver.
+type SHT11 struct {
+	k   *kernel.Kernel
+	ps  *core.PowerStateVar
+	act *core.SingleActivityDevice
+	arb *kernel.Arbiter
+	irq *kernel.IRQ
+
+	busy     bool
+	reads    uint64
+	nextRaw  uint16
+	rawDelta uint16
+}
+
+// New registers the sensor sink and returns the driver.
+func New(k *kernel.Kernel, b *power.Board) *SHT11 {
+	s := &SHT11{k: k}
+	s.ps = core.NewPowerStateVar(k.Trk, power.ResSensor, power.SensorIdle)
+	s.act = core.NewSingleActivityDevice(k.Trk, power.ResSensor)
+	s.arb = k.NewArbiter(s.act)
+	s.irq = k.NewIRQ("int_SHT11")
+	s.nextRaw = 0x1800
+	s.rawDelta = 7
+	b.AddSink(power.ResSensor, power.SensorIdle)
+	return s
+}
+
+// ReadHumidity starts a humidity conversion; done receives the raw reading
+// in task context under the requesting activity.
+func (s *SHT11) ReadHumidity(done func(raw uint16)) {
+	s.read(HumidityTime, done)
+}
+
+// ReadTemperature starts a temperature conversion.
+func (s *SHT11) ReadTemperature(done func(raw uint16)) {
+	s.read(TemperatureTime, done)
+}
+
+// Reads returns the number of completed conversions.
+func (s *SHT11) Reads() uint64 { return s.reads }
+
+func (s *SHT11) read(conv units.Ticks, done func(raw uint16)) {
+	label := s.k.CPUAct.Get()
+	s.arb.Request(func() {
+		if s.busy {
+			panic("sensor: concurrent conversion despite arbiter")
+		}
+		s.busy = true
+		s.k.Spend(120) // command the measurement over the 2-wire bus
+		s.ps.Set(power.SensorSample)
+		s.irq.RaiseAfter(conv, func() {
+			// Completion interrupt: the driver stored the requesting
+			// activity; bind the proxy to it and finish up.
+			s.k.CPUAct.Bind(label)
+			s.ps.Set(power.SensorIdle)
+			s.k.Spend(90) // clock out the 16-bit result
+			raw := s.nextRaw
+			s.nextRaw += s.rawDelta
+			s.busy = false
+			s.reads++
+			s.arb.Release()
+			s.k.PostLabeled(label, func() { done(raw) })
+		})
+	})
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce the all-zero fixed point")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 10; v++ {
+		if seen[v] == 0 {
+			t.Errorf("value %d never produced", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestTicksBounds(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Ticks(500)
+		if v < 0 || v >= 500 {
+			t.Fatalf("Ticks(500) = %v out of range", v)
+		}
+	}
+	if r.Ticks(0) != 0 {
+		t.Error("Ticks(0) should be 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(31337)
+	const n = 50000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(42)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams should differ")
+	}
+}

@@ -1,0 +1,140 @@
+// Package trace implements the binary on-the-wire/on-flash format of Quanto
+// log entries and utilities for reading, writing, and merging logs.
+//
+// Each entry is exactly 12 bytes (Figure 17 / Table 4 of the paper):
+//
+//	offset 0: uint8  type
+//	offset 1: uint8  res_id
+//	offset 2: uint32 time (little endian, node-local microseconds)
+//	offset 6: uint32 ic   (little endian, cumulative iCount pulses)
+//	offset 10: uint16 act or powerstate (little endian)
+//
+// The MSP430 is a little-endian machine, so the encoded stream matches what
+// the mote would dump over its serial back channel byte for byte.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// EntrySize is the encoded entry size in bytes.
+const EntrySize = core.EntrySize
+
+// Encode writes e into buf, which must be at least EntrySize bytes long, and
+// returns the number of bytes written.
+func Encode(buf []byte, e core.Entry) int {
+	_ = buf[EntrySize-1]
+	buf[0] = byte(e.Type)
+	buf[1] = byte(e.Res)
+	binary.LittleEndian.PutUint32(buf[2:], e.Time)
+	binary.LittleEndian.PutUint32(buf[6:], e.IC)
+	binary.LittleEndian.PutUint16(buf[10:], e.Val)
+	return EntrySize
+}
+
+// Decode parses one entry from buf.
+func Decode(buf []byte) (core.Entry, error) {
+	if len(buf) < EntrySize {
+		return core.Entry{}, fmt.Errorf("trace: short entry: %d bytes", len(buf))
+	}
+	e := core.Entry{
+		Type: core.EntryType(buf[0]),
+		Res:  core.ResourceID(buf[1]),
+		Time: binary.LittleEndian.Uint32(buf[2:]),
+		IC:   binary.LittleEndian.Uint32(buf[6:]),
+		Val:  binary.LittleEndian.Uint16(buf[10:]),
+	}
+	if e.Type == 0 || e.Type > core.EntryMarker {
+		return core.Entry{}, fmt.Errorf("trace: invalid entry type %d", buf[0])
+	}
+	return e, nil
+}
+
+// Marshal encodes a whole log into a byte slice.
+func Marshal(entries []core.Entry) []byte {
+	out := make([]byte, len(entries)*EntrySize)
+	for i, e := range entries {
+		Encode(out[i*EntrySize:], e)
+	}
+	return out
+}
+
+// Unmarshal decodes a byte stream produced by Marshal. Trailing partial
+// entries are an error.
+func Unmarshal(data []byte) ([]core.Entry, error) {
+	if len(data)%EntrySize != 0 {
+		return nil, fmt.Errorf("trace: stream length %d not a multiple of %d", len(data), EntrySize)
+	}
+	out := make([]core.Entry, 0, len(data)/EntrySize)
+	for off := 0; off < len(data); off += EntrySize {
+		e, err := Decode(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d: %w", off/EntrySize, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Writer streams encoded entries to an io.Writer, standing in for the mote's
+// serial back channel.
+type Writer struct {
+	w   io.Writer
+	buf [EntrySize]byte
+	n   int
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write encodes and emits one entry.
+func (w *Writer) Write(e core.Entry) error {
+	Encode(w.buf[:], e)
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("trace: write entry %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of entries written.
+func (w *Writer) Count() int { return w.n }
+
+// Reader decodes a stream of entries from an io.Reader.
+type Reader struct {
+	r   io.Reader
+	buf [EntrySize]byte
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read returns the next entry, or io.EOF at a clean end of stream.
+func (r *Reader) Read() (core.Entry, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return core.Entry{}, io.EOF
+		}
+		return core.Entry{}, fmt.Errorf("trace: read: %w", err)
+	}
+	return Decode(r.buf[:])
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]core.Entry, error) {
+	var out []core.Entry
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// NodeLog pairs a node id with its entry stream. Entry timestamps are
+// node-local; the experiments here run nodes off a common simulated clock,
+// so no time-synchronization pass is needed (the real deployment would
+// insert one).
+type NodeLog struct {
+	Node    core.NodeID
+	Entries []core.Entry
+}
+
+// Stamped is a log entry annotated with its owning node, used after merging
+// multiple node logs into one network-wide stream.
+type Stamped struct {
+	Node core.NodeID
+	core.Entry
+}
+
+// Merge interleaves the logs of several nodes into one stream ordered by
+// timestamp (stable across nodes for equal stamps, by node id then original
+// position). Within one node the input order is preserved even if the
+// 32-bit timestamp wrapped.
+func Merge(logs []NodeLog) []Stamped {
+	total := 0
+	for _, l := range logs {
+		total += len(l.Entries)
+	}
+	out := make([]Stamped, 0, total)
+	for _, l := range logs {
+		for _, e := range l.Entries {
+			out = append(out, Stamped{Node: l.Node, Entry: e})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// SplitByNode partitions a merged stream back into per-node logs, preserving
+// order.
+func SplitByNode(merged []Stamped) []NodeLog {
+	byNode := make(map[core.NodeID][]core.Entry)
+	var order []core.NodeID
+	for _, s := range merged {
+		if _, ok := byNode[s.Node]; !ok {
+			order = append(order, s.Node)
+		}
+		byNode[s.Node] = append(byNode[s.Node], s.Entry)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]NodeLog, 0, len(order))
+	for _, n := range order {
+		out = append(out, NodeLog{Node: n, Entries: byNode[n]})
+	}
+	return out
+}
+
+// UnwrapTimes converts the 32-bit wrapped microsecond timestamps of a single
+// node's log into monotonically non-decreasing 64-bit times. The mote's
+// clock field wraps every ~71.6 minutes; entries are assumed to be in
+// generation order with gaps shorter than one wrap period.
+func UnwrapTimes(entries []core.Entry) []int64 {
+	out := make([]int64, len(entries))
+	var base int64
+	var prev uint32
+	for i, e := range entries {
+		if i > 0 && e.Time < prev {
+			base += int64(1) << 32
+		}
+		prev = e.Time
+		out[i] = base + int64(e.Time)
+	}
+	return out
+}

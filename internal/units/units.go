@@ -1,0 +1,113 @@
+// Package units defines the physical quantities used throughout the Quanto
+// reproduction: simulated time, CPU cycles, electrical current, voltage,
+// power, and energy.
+//
+// The simulation runs with a resolution of one microsecond per tick. The
+// microcontroller modeled here (an MSP430F1611-like part) is clocked at
+// 1 MHz, so one CPU cycle corresponds to exactly one tick. This matches the
+// paper's cost accounting, which reports "102 cycles @ 1MHz" for a log
+// operation and treats cycles and microseconds interchangeably.
+package units
+
+import "fmt"
+
+// Ticks is a point in, or span of, simulated time measured in microseconds.
+type Ticks int64
+
+// Common time spans expressed in ticks.
+const (
+	Microsecond Ticks = 1
+	Millisecond Ticks = 1000 * Microsecond
+	Second      Ticks = 1000 * Millisecond
+)
+
+// Cycles counts CPU cycles. At the simulated 1 MHz clock one cycle equals
+// one microsecond of busy time.
+type Cycles uint32
+
+// CPUClockHz is the simulated microcontroller clock rate.
+const CPUClockHz = 1_000_000
+
+// Duration converts a cycle count to the simulated time it occupies.
+func (c Cycles) Duration() Ticks { return Ticks(c) }
+
+// Seconds converts t to floating-point seconds.
+func (t Ticks) Seconds() float64 { return float64(t) / 1e6 }
+
+// Millis converts t to floating-point milliseconds.
+func (t Ticks) Millis() float64 { return float64(t) / 1e3 }
+
+// Micros returns t as an integer number of microseconds.
+func (t Ticks) Micros() int64 { return int64(t) }
+
+// String formats a tick count using the most natural unit.
+func (t Ticks) String() string {
+	switch {
+	case t >= Second && t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%dus", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to ticks, rounding toward zero.
+func FromSeconds(s float64) Ticks { return Ticks(s * 1e6) }
+
+// MicroAmps is electrical current in microamperes. Current draws in the
+// platform tables (Table 1 of the paper) range from 0.2 uA to ~20 mA, so a
+// float64 carries them without loss.
+type MicroAmps float64
+
+// MilliAmps converts to milliamperes.
+func (i MicroAmps) MilliAmps() float64 { return float64(i) / 1000 }
+
+// MA builds a MicroAmps value from milliamperes, mirroring how the paper's
+// tables quote larger draws.
+func MA(milliamps float64) MicroAmps { return MicroAmps(milliamps * 1000) }
+
+// Volts is electrical potential in volts.
+type Volts float64
+
+// MicroJoules is energy in microjoules. The iCount meter's quantum on the
+// HydroWatch platform is 8.33 uJ per pulse at 3 V.
+type MicroJoules float64
+
+// MilliJoules converts to millijoules.
+func (e MicroJoules) MilliJoules() float64 { return float64(e) / 1000 }
+
+// MilliWatts is power in milliwatts.
+type MilliWatts float64
+
+// Energy returns the energy dissipated by a constant current i at voltage v
+// flowing for dt of simulated time.
+//
+//	E = I * V * t  =  (i uA)(v V)(dt us) = i*v*dt pJ = i*v*dt*1e-6 uJ
+func Energy(i MicroAmps, v Volts, dt Ticks) MicroJoules {
+	return MicroJoules(float64(i) * float64(v) * float64(dt) * 1e-6)
+}
+
+// Power returns the instantaneous power of a current i at voltage v.
+//
+//	P = I * V = (i uA)(v V) = i*v uW = i*v/1000 mW
+func Power(i MicroAmps, v Volts) MilliWatts {
+	return MilliWatts(float64(i) * float64(v) / 1000)
+}
+
+// AveragePower returns e/dt expressed in milliwatts. It reports 0 for an
+// empty interval.
+func AveragePower(e MicroJoules, dt Ticks) MilliWatts {
+	if dt <= 0 {
+		return 0
+	}
+	return MilliWatts(float64(e) / float64(dt) * 1000)
+}
+
+// CurrentFromPower inverts Power: the current that dissipates p at voltage v.
+func CurrentFromPower(p MilliWatts, v Volts) MicroAmps {
+	if v == 0 {
+		return 0
+	}
+	return MicroAmps(float64(p) * 1000 / float64(v))
+}

@@ -1,0 +1,117 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickConversions(t *testing.T) {
+	if Second != 1_000_000 {
+		t.Fatalf("Second = %d ticks, want 1e6", int64(Second))
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Errorf("Seconds: got %v", (2 * Second).Seconds())
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Errorf("Millis: got %v", (1500 * Microsecond).Millis())
+	}
+	if FromSeconds(0.25) != 250*Millisecond {
+		t.Errorf("FromSeconds(0.25) = %v", FromSeconds(0.25))
+	}
+	if (42 * Microsecond).Micros() != 42 {
+		t.Errorf("Micros: got %v", (42 * Microsecond).Micros())
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	cases := map[Ticks]string{
+		3 * Second:         "3s",
+		1500:               "1.500ms",
+		42:                 "42us",
+		2500 * Millisecond: "2500.000ms",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestCyclesDuration(t *testing.T) {
+	// At 1 MHz, one cycle is one microsecond.
+	if Cycles(102).Duration() != 102*Microsecond {
+		t.Errorf("102 cycles = %v", Cycles(102).Duration())
+	}
+}
+
+func TestEnergyKnownValues(t *testing.T) {
+	// 1 mA at 3 V for 1 s = 3 mJ = 3000 uJ.
+	e := Energy(1000, 3.0, Second)
+	if math.Abs(float64(e)-3000) > 1e-9 {
+		t.Errorf("Energy(1mA, 3V, 1s) = %v uJ, want 3000", e)
+	}
+	// The iCount quantum: 8.33 uJ at 3 V corresponds to 2.777 uC.
+	e = Energy(2777, 3.0, Millisecond)
+	if math.Abs(float64(e)-8.331) > 0.01 {
+		t.Errorf("Energy(2.777mA, 3V, 1ms) = %v uJ, want ~8.33", e)
+	}
+}
+
+func TestPowerKnownValues(t *testing.T) {
+	// 18.46 mA at 3.35 V = 61.8 mW (the paper's radio listen draw).
+	p := Power(18460, 3.35)
+	if math.Abs(float64(p)-61.84) > 0.1 {
+		t.Errorf("Power(18.46mA, 3.35V) = %v mW, want ~61.8", p)
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	if p := AveragePower(3000, Second); math.Abs(float64(p)-3.0) > 1e-9 {
+		t.Errorf("AveragePower(3000uJ, 1s) = %v mW, want 3", p)
+	}
+	if p := AveragePower(100, 0); p != 0 {
+		t.Errorf("AveragePower over empty interval = %v, want 0", p)
+	}
+}
+
+func TestCurrentFromPowerInvertsPower(t *testing.T) {
+	f := func(ua uint16, dv uint8) bool {
+		i := MicroAmps(ua)
+		v := Volts(2.0 + float64(dv%20)/10) // 2.0 .. 3.9 V
+		p := Power(i, v)
+		back := CurrentFromPower(p, v)
+		return math.Abs(float64(back-i)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if CurrentFromPower(10, 0) != 0 {
+		t.Error("CurrentFromPower at 0 V should be 0")
+	}
+}
+
+func TestEnergyLinearInTime(t *testing.T) {
+	f := func(ua uint16, ms uint8) bool {
+		i := MicroAmps(ua)
+		dt := Ticks(ms) * Millisecond
+		e1 := Energy(i, 3.0, dt)
+		e2 := Energy(i, 3.0, 2*dt)
+		return math.Abs(float64(e2-2*e1)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMilliHelpers(t *testing.T) {
+	if MA(2.5) != 2500 {
+		t.Errorf("MA(2.5) = %v", MA(2.5))
+	}
+	if MicroAmps(2500).MilliAmps() != 2.5 {
+		t.Errorf("MilliAmps: got %v", MicroAmps(2500).MilliAmps())
+	}
+	if MicroJoules(2500).MilliJoules() != 2.5 {
+		t.Errorf("MilliJoules: got %v", MicroJoules(2500).MilliJoules())
+	}
+}
