@@ -3,18 +3,24 @@
 //
 // Usage:
 //
-//	quanto-trace gen [-seed N] [-secs S] FILE   run Blink, write its log
-//	quanto-trace dump FILE                      print entries
-//	quanto-trace summary FILE                   per-type/resource counts
-//	quanto-trace analyze FILE                   regression + energy totals
+//	quanto-trace gen [-seed N] [-secs S] FILE    run Blink, write its log
+//	quanto-trace dump FILE                       print entries
+//	quanto-trace summary FILE                    per-type/resource counts
+//	quanto-trace analyze FILE                    regression + energy totals
+//	quanto-trace merge OUT FILE...               k-way merge node logs by time
 //
-// The binary format is exactly what a real mote would stream over its
-// serial back channel, so logs produced elsewhere can be analyzed too.
+// FILE and OUT may be "-" for stdin/stdout, so logs pipe between tools.
+// Every subcommand streams through the batched decoder: a trace is processed
+// in fixed-size chunks and never fully materialized, so multi-gigabyte logs
+// use constant memory. The binary format is exactly what a real mote would
+// stream over its serial back channel, so logs produced elsewhere work too.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -38,21 +44,25 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
-	if fs.NArg() != 1 {
-		usage()
-	}
-	file := fs.Arg(0)
 
 	var err error
 	switch cmd {
 	case "gen":
-		err = gen(file, *seed, *secs)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		err = gen(fs.Arg(0), *seed, *secs)
 	case "dump":
-		err = withEntries(file, dump)
+		err = withStream(fs.Args(), dump)
 	case "summary":
-		err = withEntries(file, summary)
+		err = withStream(fs.Args(), summary)
 	case "analyze":
-		err = withEntries(file, analyze)
+		err = withStream(fs.Args(), analyze)
+	case "merge":
+		if fs.NArg() < 2 {
+			usage()
+		}
+		err = merge(fs.Arg(0), fs.Args()[1:])
 	default:
 		usage()
 	}
@@ -63,74 +73,165 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: quanto-trace gen|dump|summary|analyze [flags] FILE")
+	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
+       quanto-trace merge OUT FILE...
+FILE/OUT may be "-" for stdin/stdout`)
 	os.Exit(2)
+}
+
+// openIn opens a trace input; "" or "-" selects stdin.
+func openIn(name string) (io.ReadCloser, error) {
+	if name == "" || name == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(name)
+}
+
+// openOut opens a trace output; "-" selects stdout.
+func openOut(name string) (io.WriteCloser, func() error, error) {
+	if name == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// withStream runs fn over batches decoded from the (at most one) named
+// input, never holding more than one batch in memory.
+func withStream(args []string, fn func(r *trace.Reader) error) error {
+	if len(args) > 1 {
+		usage()
+	}
+	name := ""
+	if len(args) == 1 {
+		name = args[0]
+	}
+	in, err := openIn(name)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	return fn(trace.NewReader(bufio.NewReaderSize(in, 1<<16)))
+}
+
+// forEachBatch drives a reader to EOF in fixed-size batches.
+func forEachBatch(r *trace.Reader, fn func(batch []core.Entry) error) error {
+	buf := make([]core.Entry, trace.DefaultBatchEntries)
+	for {
+		n, err := r.ReadBatch(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if n > 0 {
+			if ferr := fn(buf[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
 }
 
 func gen(file string, seed uint64, secs int) error {
 	_, n, _ := apps.RunBlink(seed, units.Ticks(secs)*units.Second, mote.DefaultOptions())
-	data := trace.Marshal(n.Log.Entries)
-	if err := os.WriteFile(file, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %d entries (%d bytes) to %s\n", len(n.Log.Entries), len(data), file)
-	return nil
-}
-
-func withEntries(file string, fn func([]core.Entry) error) error {
-	data, err := os.ReadFile(file)
+	out, closeOut, err := openOut(file)
 	if err != nil {
 		return err
 	}
-	entries, err := trace.Unmarshal(data)
-	if err != nil {
+	bw := bufio.NewWriterSize(out, 1<<16)
+	w := trace.NewWriter(bw)
+	// Write in bounded chunks so the encode buffer stays small no matter
+	// how long the run was.
+	for entries := n.Log.Entries; len(entries) > 0; {
+		chunk := entries
+		if len(chunk) > trace.DefaultBatchEntries {
+			chunk = chunk[:trace.DefaultBatchEntries]
+		}
+		if err := w.WriteBatch(chunk); err != nil {
+			return err
+		}
+		entries = entries[len(chunk):]
+	}
+	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return fn(entries)
-}
-
-func dump(entries []core.Entry) error {
-	for i, e := range entries {
-		fmt.Printf("%6d %s\n", i, e)
+	if err := closeOut(); err != nil {
+		return err
 	}
+	fmt.Fprintf(os.Stderr, "wrote %d entries (%d bytes) to %s\n",
+		w.Count(), w.Count()*trace.EntrySize, file)
 	return nil
 }
 
-func summary(entries []core.Entry) error {
-	perType := make(map[core.EntryType]int)
-	perRes := make(map[core.ResourceID]int)
-	for _, e := range entries {
-		perType[e.Type]++
-		perRes[e.Res]++
+func dump(r *trace.Reader) error {
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	i := 0
+	err := forEachBatch(r, func(batch []core.Entry) error {
+		for _, e := range batch {
+			fmt.Fprintf(w, "%6d %s\n", i, e)
+			i++
+		}
+		return nil
+	})
+	// bufio latches the first write error; don't let Flush's result vanish.
+	if ferr := w.Flush(); err == nil {
+		err = ferr
 	}
-	fmt.Printf("entries: %d (%d bytes)\n\nby type:\n", len(entries), len(entries)*core.EntrySize)
-	types := make([]int, 0, len(perType))
-	for t := range perType {
+	return err
+}
+
+func summary(r *trace.Reader) error {
+	counters := core.NewCounterSink()
+	var first, last core.Entry
+	total := 0
+	err := forEachBatch(r, func(batch []core.Entry) error {
+		if total == 0 {
+			first = batch[0]
+		}
+		last = batch[len(batch)-1]
+		total += counters.RecordBatch(batch)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("entries: %d (%d bytes)\n\nby type:\n", total, total*core.EntrySize)
+	types := make([]int, 0, len(counters.PerType))
+	for t := range counters.PerType {
 		types = append(types, int(t))
 	}
 	sort.Ints(types)
 	for _, t := range types {
-		fmt.Printf("  %-6s %6d\n", core.EntryType(t), perType[core.EntryType(t)])
+		fmt.Printf("  %-6s %6d\n", core.EntryType(t), counters.PerType[core.EntryType(t)])
 	}
 	fmt.Println("by resource:")
-	rs := make([]int, 0, len(perRes))
-	for r := range perRes {
+	rs := make([]int, 0, len(counters.PerRes))
+	for r := range counters.PerRes {
 		rs = append(rs, int(r))
 	}
 	sort.Ints(rs)
 	for _, r := range rs {
-		fmt.Printf("  res%-4d %6d\n", r, perRes[core.ResourceID(r)])
+		fmt.Printf("  res%-4d %6d\n", r, counters.PerRes[core.ResourceID(r)])
 	}
-	if len(entries) > 0 {
-		first, last := entries[0], entries[len(entries)-1]
+	if total > 0 {
 		fmt.Printf("span: %d us, %d pulses\n", last.Time-first.Time, last.IC-first.IC)
 	}
 	return nil
 }
 
-func analyze(entries []core.Entry) error {
-	tr := analysis.NewNodeTrace(1, entries, icount.PulseEnergyMicroJoules, 3.0)
-	a, err := analysis.Analyze(tr, core.NewDictionary(), analysis.DefaultOptions())
+func analyze(r *trace.Reader) error {
+	sa := analysis.NewStreamAnalyzer(1, icount.PulseEnergyMicroJoules, 3.0, core.NewDictionary(), analysis.DefaultOptions())
+	if err := forEachBatch(r, func(batch []core.Entry) error {
+		sa.RecordBatch(batch)
+		return nil
+	}); err != nil {
+		return err
+	}
+	a, err := sa.Finish()
 	if err != nil {
 		return err
 	}
@@ -144,5 +245,83 @@ func analyze(entries []core.Entry) error {
 	}
 	fmt.Printf("  const            %8.3f\n", a.Reg.ConstMW)
 	fmt.Printf("\nreconstruction error: %.5f%%\n", a.ReconstructionError()*100)
+	return nil
+}
+
+// merge k-way merges several per-node logs into one time-ordered stream,
+// decoding each input concurrently. Node ids are assigned by position
+// (first input = node 1). Only the 12-byte entries are written — the merged
+// stream is a valid trace itself.
+func merge(outName string, inNames []string) error {
+	stdins := 0
+	for _, name := range inNames {
+		if name == "" || name == "-" {
+			stdins++
+		}
+	}
+	if stdins > 1 {
+		return fmt.Errorf("stdin may be given as at most one merge input, got %d", stdins)
+	}
+	streams := make([]trace.ReaderStream, len(inNames))
+	for i, name := range inNames {
+		in, err := openIn(name)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		streams[i] = trace.ReaderStream{
+			Node: core.NodeID(i + 1),
+			R:    bufio.NewReaderSize(in, 1<<16),
+		}
+	}
+	m, err := trace.MergeReaders(streams, 0)
+	if err != nil {
+		return err
+	}
+	out, closeOut, err := openOut(outName)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	w := trace.NewWriter(bw)
+	batch := make([]core.Entry, 0, trace.DefaultBatchEntries)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := w.WriteBatch(batch)
+		batch = batch[:0]
+		return err
+	}
+	for {
+		s, err := m.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Entries merged before the failure are still written out,
+			// mirroring the merger's own no-silent-loss contract; the
+			// nonzero exit reports the truncation.
+			flush()
+			bw.Flush()
+			return err
+		}
+		batch = append(batch, s.Entry)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d inputs into %d entries\n", len(inNames), w.Count())
 	return nil
 }

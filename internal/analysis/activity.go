@@ -35,122 +35,149 @@ type MultiTimeline struct {
 	Segs []MultiSegment
 }
 
-// BuildActivityTimelines reconstructs per-resource activity histories from
-// the log. isProxy identifies proxy labels (from the dictionary); bind
-// entries reassign the owner of the pending proxy episode on that resource,
-// implementing the paper's "the resources used by a proxy activity are
-// accounted for separately, and then assigned to the real activity as soon
-// as the system can determine what this activity is".
-func BuildActivityTimelines(t *NodeTrace, isProxy func(core.Label) bool) (map[core.ResourceID]*ActTimeline, map[core.ResourceID]*MultiTimeline) {
-	single := make(map[core.ResourceID]*ActTimeline)
-	multi := make(map[core.ResourceID]*MultiTimeline)
+// openSeg is a single-activity segment still in progress.
+type openSeg struct {
+	start   int64
+	label   core.Label
+	pending []int // indices of segments in the unresolved proxy episode
+}
 
-	type openSeg struct {
-		start   int64
-		label   core.Label
-		pending []int // indices of segments in the unresolved proxy episode
+// openMultiSeg is a multi-activity segment still in progress.
+type openMultiSeg struct {
+	start  int64
+	labels map[core.Label]struct{}
+}
+
+// TimelineBuilder reconstructs per-resource activity histories from an event
+// stream incrementally, one entry at a time — the single-pass core behind
+// BuildActivityTimelines. isProxy identifies proxy labels (from the
+// dictionary); bind entries reassign the owner of the pending proxy episode
+// on that resource, implementing the paper's "the resources used by a proxy
+// activity are accounted for separately, and then assigned to the real
+// activity as soon as the system can determine what this activity is".
+type TimelineBuilder struct {
+	isProxy    func(core.Label) bool
+	single     map[core.ResourceID]*ActTimeline
+	multi      map[core.ResourceID]*MultiTimeline
+	openSingle map[core.ResourceID]*openSeg
+	openMulti  map[core.ResourceID]*openMultiSeg
+}
+
+// NewTimelineBuilder returns an empty builder.
+func NewTimelineBuilder(isProxy func(core.Label) bool) *TimelineBuilder {
+	return &TimelineBuilder{
+		isProxy:    isProxy,
+		single:     make(map[core.ResourceID]*ActTimeline),
+		multi:      make(map[core.ResourceID]*MultiTimeline),
+		openSingle: make(map[core.ResourceID]*openSeg),
+		openMulti:  make(map[core.ResourceID]*openMultiSeg),
 	}
-	openSingle := make(map[core.ResourceID]*openSeg)
-	openMulti := make(map[core.ResourceID]*struct {
-		start  int64
-		labels map[core.Label]struct{}
-	})
+}
 
-	end := t.End()
+// closeSingle closes the open segment on res at the given time, if any.
+func (b *TimelineBuilder) closeSingle(res core.ResourceID, at int64) *openSeg {
+	os := b.openSingle[res]
+	if os == nil {
+		return nil
+	}
+	tl := b.single[res]
+	if tl == nil {
+		tl = &ActTimeline{Res: res}
+		b.single[res] = tl
+	}
+	if at > os.start {
+		tl.Segs = append(tl.Segs, Segment{Start: os.start, End: at, Label: os.label, Owner: os.label})
+	}
+	return os
+}
 
-	closeSingle := func(res core.ResourceID, at int64) *openSeg {
-		os := openSingle[res]
-		if os == nil {
-			return nil
-		}
-		tl := single[res]
+// Add consumes the next entry, stamped with its unwrapped time. Entries that
+// are not activity events are ignored.
+func (b *TimelineBuilder) Add(e core.Entry, at int64) {
+	switch e.Type {
+	case core.EntryActivitySet, core.EntryActivityBind:
+		label := e.Label()
+		os := b.closeSingle(e.Res, at)
+		tl := b.single[e.Res]
 		if tl == nil {
-			tl = &ActTimeline{Res: res}
-			single[res] = tl
+			tl = &ActTimeline{Res: e.Res}
+			b.single[e.Res] = tl
 		}
-		if at > os.start {
-			tl.Segs = append(tl.Segs, Segment{Start: os.start, End: at, Label: os.label, Owner: os.label})
-		}
-		return os
-	}
-
-	for i, e := range t.Entries {
-		at := t.Times[i]
-		switch e.Type {
-		case core.EntryActivitySet, core.EntryActivityBind:
-			label := e.Label()
-			os := closeSingle(e.Res, at)
-			tl := single[e.Res]
-			if tl == nil {
-				tl = &ActTimeline{Res: e.Res}
-				single[e.Res] = tl
-			}
-			next := &openSeg{start: at, label: label}
-			if os != nil {
-				next.pending = os.pending
-				// The closed segment may be part of a proxy episode.
-				if len(tl.Segs) > 0 && tl.Segs[len(tl.Segs)-1].End == at {
-					closedIdx := len(tl.Segs) - 1
-					closed := tl.Segs[closedIdx]
-					if isProxy(closed.Label) {
-						next.pending = append(next.pending, closedIdx)
-					}
+		next := &openSeg{start: at, label: label}
+		if os != nil {
+			next.pending = os.pending
+			// The closed segment may be part of a proxy episode.
+			if len(tl.Segs) > 0 && tl.Segs[len(tl.Segs)-1].End == at {
+				closedIdx := len(tl.Segs) - 1
+				closed := tl.Segs[closedIdx]
+				if b.isProxy(closed.Label) {
+					next.pending = append(next.pending, closedIdx)
 				}
 			}
-			switch {
-			case e.Type == core.EntryActivityBind:
-				// Reassign the pending episode to the bound activity.
-				for _, idx := range next.pending {
-					tl.Segs[idx].Owner = label
-				}
-				next.pending = nil
-			case !isProxy(label) && !label.IsIdle():
-				// A real activity closes the episode: pending proxy
-				// segments keep their own labels.
-				next.pending = nil
-			}
-			openSingle[e.Res] = next
-
-		case core.EntryActivityAdd, core.EntryActivityRemove:
-			om := openMulti[e.Res]
-			mt := multi[e.Res]
-			if mt == nil {
-				mt = &MultiTimeline{Res: e.Res}
-				multi[e.Res] = mt
-			}
-			if om == nil {
-				om = &struct {
-					start  int64
-					labels map[core.Label]struct{}
-				}{start: at, labels: make(map[core.Label]struct{})}
-				openMulti[e.Res] = om
-			}
-			if at > om.start {
-				mt.Segs = append(mt.Segs, MultiSegment{Start: om.start, End: at, Labels: sortedLabels(om.labels)})
-			}
-			if e.Type == core.EntryActivityAdd {
-				om.labels[e.Label()] = struct{}{}
-			} else {
-				delete(om.labels, e.Label())
-			}
-			om.start = at
 		}
-	}
+		switch {
+		case e.Type == core.EntryActivityBind:
+			// Reassign the pending episode to the bound activity.
+			for _, idx := range next.pending {
+				tl.Segs[idx].Owner = label
+			}
+			next.pending = nil
+		case !b.isProxy(label) && !label.IsIdle():
+			// A real activity closes the episode: pending proxy
+			// segments keep their own labels.
+			next.pending = nil
+		}
+		b.openSingle[e.Res] = next
 
-	// Close everything at the end of the trace.
-	for res, os := range openSingle {
-		tl := single[res]
+	case core.EntryActivityAdd, core.EntryActivityRemove:
+		om := b.openMulti[e.Res]
+		mt := b.multi[e.Res]
+		if mt == nil {
+			mt = &MultiTimeline{Res: e.Res}
+			b.multi[e.Res] = mt
+		}
+		if om == nil {
+			om = &openMultiSeg{start: at, labels: make(map[core.Label]struct{})}
+			b.openMulti[e.Res] = om
+		}
+		if at > om.start {
+			mt.Segs = append(mt.Segs, MultiSegment{Start: om.start, End: at, Labels: sortedLabels(om.labels)})
+		}
+		if e.Type == core.EntryActivityAdd {
+			om.labels[e.Label()] = struct{}{}
+		} else {
+			delete(om.labels, e.Label())
+		}
+		om.start = at
+	}
+}
+
+// Finish closes every open segment at the given end time and returns the
+// completed timelines. The builder must not be used afterwards.
+func (b *TimelineBuilder) Finish(end int64) (map[core.ResourceID]*ActTimeline, map[core.ResourceID]*MultiTimeline) {
+	for res, os := range b.openSingle {
+		tl := b.single[res]
 		if end > os.start {
 			tl.Segs = append(tl.Segs, Segment{Start: os.start, End: end, Label: os.label, Owner: os.label})
 		}
 	}
-	for res, om := range openMulti {
-		mt := multi[res]
+	for res, om := range b.openMulti {
+		mt := b.multi[res]
 		if end > om.start {
 			mt.Segs = append(mt.Segs, MultiSegment{Start: om.start, End: end, Labels: sortedLabels(om.labels)})
 		}
 	}
-	return single, multi
+	return b.single, b.multi
+}
+
+// BuildActivityTimelines reconstructs per-resource activity histories from
+// the log — the batch wrapper over TimelineBuilder.
+func BuildActivityTimelines(t *NodeTrace, isProxy func(core.Label) bool) (map[core.ResourceID]*ActTimeline, map[core.ResourceID]*MultiTimeline) {
+	b := NewTimelineBuilder(isProxy)
+	for i, e := range t.Entries {
+		b.Add(e, t.Times[i])
+	}
+	return b.Finish(t.End())
 }
 
 func sortedLabels(set map[core.Label]struct{}) []core.Label {
@@ -168,29 +195,51 @@ type StateSegment struct {
 	State      core.PowerState
 }
 
-// BuildStateTimelines reconstructs per-resource power-state histories.
-func BuildStateTimelines(t *NodeTrace) map[core.ResourceID][]StateSegment {
-	out := make(map[core.ResourceID][]StateSegment)
-	open := make(map[core.ResourceID]*StateSegment)
-	end := t.End()
-	for i, e := range t.Entries {
-		if e.Type != core.EntryPowerState {
-			continue
-		}
-		at := t.Times[i]
-		if seg := open[e.Res]; seg != nil {
-			if at > seg.Start {
-				seg.End = at
-				out[e.Res] = append(out[e.Res], *seg)
-			}
-		}
-		open[e.Res] = &StateSegment{Start: at, State: e.State()}
+// StateTimelineBuilder reconstructs per-resource power-state histories from
+// an event stream incrementally.
+type StateTimelineBuilder struct {
+	out  map[core.ResourceID][]StateSegment
+	open map[core.ResourceID]StateSegment // End is unset while open
+}
+
+// NewStateTimelineBuilder returns an empty builder.
+func NewStateTimelineBuilder() *StateTimelineBuilder {
+	return &StateTimelineBuilder{
+		out:  make(map[core.ResourceID][]StateSegment),
+		open: make(map[core.ResourceID]StateSegment),
 	}
-	for res, seg := range open {
+}
+
+// Add consumes the next entry; non-power-state entries are ignored.
+func (b *StateTimelineBuilder) Add(e core.Entry, at int64) {
+	if e.Type != core.EntryPowerState {
+		return
+	}
+	if seg, ok := b.open[e.Res]; ok && at > seg.Start {
+		seg.End = at
+		b.out[e.Res] = append(b.out[e.Res], seg)
+	}
+	b.open[e.Res] = StateSegment{Start: at, State: e.State()}
+}
+
+// Finish closes every open segment at the given end time and returns the
+// completed timelines.
+func (b *StateTimelineBuilder) Finish(end int64) map[core.ResourceID][]StateSegment {
+	for res, seg := range b.open {
 		if end > seg.Start {
 			seg.End = end
-			out[res] = append(out[res], *seg)
+			b.out[res] = append(b.out[res], seg)
 		}
 	}
-	return out
+	return b.out
+}
+
+// BuildStateTimelines reconstructs per-resource power-state histories — the
+// batch wrapper over StateTimelineBuilder.
+func BuildStateTimelines(t *NodeTrace) map[core.ResourceID][]StateSegment {
+	b := NewStateTimelineBuilder()
+	for i, e := range t.Entries {
+		b.Add(e, t.Times[i])
+	}
+	return b.Finish(t.End())
 }

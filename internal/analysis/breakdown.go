@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -45,9 +44,18 @@ const ConstLabel core.Label = 0xFFFF
 
 // Analysis bundles everything derived from one node's log.
 type Analysis struct {
+	// Trace carries the node's identity and meter parameters. When the
+	// analysis came from the streaming path its Entries are nil — only the
+	// summary fields below describe the log.
 	Trace *NodeTrace
 	Dict  *core.Dictionary
 	Opts  Options
+
+	// StartUS/EndUS bound the analyzed window (unwrapped microseconds) and
+	// TotalPulses is the meter delta across it; they are valid whether the
+	// analysis was computed from a slice or a stream.
+	StartUS, EndUS int64
+	TotalPulses    uint32
 
 	Intervals []StateInterval
 	Reg       *Regression
@@ -63,38 +71,18 @@ type Analysis struct {
 	States map[core.ResourceID][]StateSegment
 }
 
-// Analyze runs the full offline pipeline on one node's log.
+// Analyze runs the full offline pipeline on one node's materialized log. It
+// is a thin wrapper over the single-pass StreamAnalyzer, kept for callers
+// that already hold the entries as a slice.
 func Analyze(t *NodeTrace, dict *core.Dictionary, opts Options) (*Analysis, error) {
-	if len(t.Entries) < 2 {
-		return nil, fmt.Errorf("analysis: log has %d entries; need at least 2", len(t.Entries))
+	sa := NewStreamAnalyzer(t.Node, t.PulseUJ, t.Volts, dict, opts)
+	sa.RecordBatch(t.Entries)
+	a, err := sa.Finish()
+	if err != nil {
+		return nil, err
 	}
-	intervals := t.StateIntervals()
-	reg, regErr := RunRegression(intervals, t.PulseUJ, opts.Regression)
-	if regErr != nil {
-		// Degrade to a constant-only model so time breakdowns and total
-		// energy still work on logs without separable power states.
-		constMW := 0.0
-		if span := t.End() - t.Start(); span > 0 {
-			constMW = t.TotalEnergyUJ() / float64(span) * 1000
-		}
-		reg = &Regression{
-			PowerMW: make(map[Predictor]float64),
-			ConstMW: constMW,
-		}
-	}
-	single, multi := BuildActivityTimelines(t, dict.IsProxy)
-	states := BuildStateTimelines(t)
-	return &Analysis{
-		Trace:         t,
-		Dict:          dict,
-		Opts:          opts,
-		Intervals:     intervals,
-		Reg:           reg,
-		RegressionErr: regErr,
-		Single:        single,
-		Multi:         multi,
-		States:        states,
-	}, nil
+	a.Trace = t // keep the materialized log reachable for slice-based callers
+	return a, nil
 }
 
 func (a *Analysis) ownerOf(seg Segment) core.Label {
@@ -151,7 +139,7 @@ func (a *Analysis) ActiveTimeUS(res core.ResourceID) int64 {
 }
 
 // Span returns the analyzed window in microseconds.
-func (a *Analysis) Span() int64 { return a.Trace.End() - a.Trace.Start() }
+func (a *Analysis) Span() int64 { return a.EndUS - a.StartUS }
 
 // stateResources returns the resources with power-state timelines in a
 // fixed order, so floating-point accumulation is deterministic run to run.
@@ -251,7 +239,9 @@ func (a *Analysis) chargeWindow(res core.ResourceID, start, end int64, mw float6
 }
 
 // TotalEnergyUJ returns the meter-observed energy over the span.
-func (a *Analysis) TotalEnergyUJ() float64 { return a.Trace.TotalEnergyUJ() }
+func (a *Analysis) TotalEnergyUJ() float64 {
+	return float64(a.TotalPulses) * a.Trace.PulseUJ
+}
 
 // LabelsInUse returns every activity label that appears in the breakdowns,
 // sorted, for stable report rendering.

@@ -7,8 +7,8 @@
 package analysis
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/trace"
@@ -61,9 +61,11 @@ func (t *NodeTrace) End() int64 {
 type StateInterval struct {
 	Start, End int64
 	Pulses     uint32
-	// States snapshots every sink's power state during the interval. The
-	// map is shared between intervals with identical vectors; do not
-	// mutate.
+	// States snapshots the sinks' power states during the interval. The map
+	// is shared between intervals with identical vectors; do not mutate.
+	// Resources at the zero (baseline) state may be absent — look states up
+	// with the map's zero-value-on-miss semantics rather than ranging for
+	// zeros.
 	States map[core.ResourceID]core.PowerState
 	// Key is a canonical fingerprint of the non-zero states, used for
 	// grouping.
@@ -78,55 +80,142 @@ func (iv StateInterval) EnergyUJ(pulseUJ float64) float64 {
 	return float64(iv.Pulses) * pulseUJ
 }
 
+// IntervalBuilder slices an event stream into state intervals incrementally,
+// one entry at a time — the single-pass core behind StateIntervals. Feed
+// entries in log order with their unwrapped timestamps; Intervals returns
+// everything closed so far. Zero-length gaps (several entries at one
+// microsecond) are skipped; their pulses carry into the following interval.
+type IntervalBuilder struct {
+	states  map[core.ResourceID]core.PowerState
+	resIDs  []core.ResourceID // sorted keys of states
+	out     []StateInterval
+	carry   uint32
+	prev    core.Entry
+	prevAt  int64
+	started bool
+
+	// Snapshot cache: logs revisit the same state vectors over and over
+	// (every blink, every radio wakeup), so completed snapshots are interned
+	// by fingerprint. Steady-state interval building allocates nothing, and
+	// intervals with identical vectors share one map.
+	lastSnap map[core.ResourceID]core.PowerState
+	lastKey  string
+	dirty    bool
+	keyBuf   []byte
+	interned map[string]internedVec
+}
+
+type internedVec struct {
+	snap map[core.ResourceID]core.PowerState
+	key  string
+}
+
+// NewIntervalBuilder returns an empty builder.
+func NewIntervalBuilder() *IntervalBuilder {
+	return &IntervalBuilder{
+		states:   make(map[core.ResourceID]core.PowerState),
+		dirty:    true,
+		interned: make(map[string]internedVec),
+	}
+}
+
+// insertResSorted inserts res into the ascending ids slice, keeping order.
+// The caller checks for prior membership.
+func insertResSorted(ids []core.ResourceID, res core.ResourceID) []core.ResourceID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= res })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = res
+	return ids
+}
+
+// setState records a resource's power state, tracking the sorted key set.
+func (b *IntervalBuilder) setState(res core.ResourceID, st core.PowerState) {
+	old, seen := b.states[res]
+	if seen && old == st {
+		return
+	}
+	if !seen {
+		b.resIDs = insertResSorted(b.resIDs, res)
+	}
+	b.states[res] = st
+	b.dirty = true
+}
+
+// snapshot fingerprints the current state vector and returns the interned
+// copy, reusing the previous one when nothing changed.
+func (b *IntervalBuilder) snapshot() (map[core.ResourceID]core.PowerState, string) {
+	if !b.dirty {
+		return b.lastSnap, b.lastKey
+	}
+	buf := b.keyBuf[:0]
+	for _, r := range b.resIDs {
+		if s := b.states[r]; s != 0 {
+			buf = strconv.AppendUint(buf, uint64(r), 10)
+			buf = append(buf, '=')
+			buf = strconv.AppendUint(buf, uint64(s), 10)
+			buf = append(buf, ';')
+		}
+	}
+	b.keyBuf = buf
+	if string(buf) == b.lastKey {
+		// The vector toggled back to the previous one (LED off, radio
+		// asleep again): skip the intern lookup entirely.
+		b.dirty = false
+		return b.lastSnap, b.lastKey
+	}
+	iv, ok := b.interned[string(buf)]
+	if !ok {
+		cp := make(map[core.ResourceID]core.PowerState, len(b.states))
+		for r, s := range b.states {
+			cp[r] = s
+		}
+		iv = internedVec{snap: cp, key: string(buf)}
+		b.interned[iv.key] = iv
+	}
+	b.lastSnap, b.lastKey, b.dirty = iv.snap, iv.key, false
+	return iv.snap, iv.key
+}
+
+// Add consumes the next entry, stamped with its unwrapped time. The interval
+// between the previous entry and this one is closed and recorded.
+func (b *IntervalBuilder) Add(e core.Entry, at int64) {
+	if b.started {
+		p := b.prev
+		if p.Type == core.EntryPowerState {
+			b.setState(p.Res, p.State())
+		}
+		pulses := e.IC - p.IC // uint32 arithmetic handles wrap
+		if at == b.prevAt {
+			b.carry += pulses
+		} else {
+			snap, key := b.snapshot()
+			b.out = append(b.out, StateInterval{
+				Start:  b.prevAt,
+				End:    at,
+				Pulses: pulses + b.carry,
+				States: snap,
+				Key:    key,
+			})
+			b.carry = 0
+		}
+	}
+	b.prev, b.prevAt, b.started = e, at, true
+}
+
+// Intervals returns the intervals closed so far. The returned slice is the
+// builder's own; do not Add after using it.
+func (b *IntervalBuilder) Intervals() []StateInterval { return b.out }
+
 // StateIntervals slices the log into intervals between consecutive entries,
 // each annotated with the in-effect power-state vector and the energy used.
-// Zero-length gaps (several entries at one microsecond) are skipped; their
-// pulses are carried into the following interval.
+// It is the batch wrapper over IntervalBuilder.
 func (t *NodeTrace) StateIntervals() []StateInterval {
-	states := make(map[core.ResourceID]core.PowerState)
-	var out []StateInterval
-	var carryPulses uint32
-
-	snapshot := func() (map[core.ResourceID]core.PowerState, string) {
-		// Copy and fingerprint the current vector.
-		cp := make(map[core.ResourceID]core.PowerState, len(states))
-		keys := make([]int, 0, len(states))
-		for r, s := range states {
-			cp[r] = s
-			if s != 0 {
-				keys = append(keys, int(r))
-			}
-		}
-		sort.Ints(keys)
-		key := ""
-		for _, r := range keys {
-			key += fmt.Sprintf("%d=%d;", r, states[core.ResourceID(r)])
-		}
-		return cp, key
+	b := NewIntervalBuilder()
+	for i, e := range t.Entries {
+		b.Add(e, t.Times[i])
 	}
-
-	for i := 0; i+1 < len(t.Entries); i++ {
-		e := t.Entries[i]
-		if e.Type == core.EntryPowerState {
-			states[e.Res] = e.State()
-		}
-		start, end := t.Times[i], t.Times[i+1]
-		pulses := t.Entries[i+1].IC - e.IC // uint32 arithmetic handles wrap
-		if end == start {
-			carryPulses += pulses
-			continue
-		}
-		snap, key := snapshot()
-		out = append(out, StateInterval{
-			Start:  start,
-			End:    end,
-			Pulses: pulses + carryPulses,
-			States: snap,
-			Key:    key,
-		})
-		carryPulses = 0
-	}
-	return out
+	return b.Intervals()
 }
 
 // TotalPulses returns the pulse count between the first and last entry.

@@ -44,7 +44,18 @@ type OnlineAccountant struct {
 	energyUJ map[core.Label]float64
 	baseUJ   float64 // energy not attributable to any modeled resource
 
+	// sortedRes caches curState's keys in ascending order (resources are
+	// only ever added), and shares is charge's reusable scratch buffer —
+	// together they keep the per-event path allocation-free.
+	sortedRes []core.ResourceID
+	shares    []share
+
 	events uint64
+}
+
+type share struct {
+	labels []core.Label
+	mw     float64
 }
 
 // NewOnlineAccountant creates an accountant for one node. powerModel may be
@@ -82,26 +93,33 @@ func (o *OnlineAccountant) Record(e core.Entry) bool {
 	return true
 }
 
+// RecordBatch implements core.BatchSink, folding a whole batch into the
+// accumulators.
+func (o *OnlineAccountant) RecordBatch(entries []core.Entry) int {
+	for _, e := range entries {
+		o.Record(e)
+	}
+	return len(entries)
+}
+
 // charge distributes the interval's time and energy.
 func (o *OnlineAccountant) charge(dtUS int64, dUJ float64) {
-	// Time: every resource's current activity accrues wall time; the CPU
-	// is what the paper's tables report, so only resource CPU time counts
-	// toward the per-activity time totals here (resource 0 by convention
-	// of the platform tables).
-	// Energy: apportioned by the power model over active states.
+	// Wall time accrues to the CPU's current activity: the CPU is what the
+	// paper's tables report, so only resource CPU time counts toward the
+	// per-activity time totals here (resource 0 by convention of the
+	// platform tables).
+	if l, ok := o.curAct[0]; ok {
+		o.timeUS[l] += dtUS
+	}
+	// Energy: apportioned by the power model over active states. With no
+	// model there is nothing to apportion against — all energy is baseline.
+	if len(o.powerModel) == 0 {
+		o.baseUJ += dUJ
+		return
+	}
 	var modeledMW float64
-	type share struct {
-		labels []core.Label
-		mw     float64
-	}
-	var shares []share
-	resIDs := make([]int, 0, len(o.curState))
-	for r := range o.curState {
-		resIDs = append(resIDs, int(r))
-	}
-	sort.Ints(resIDs)
-	for _, ri := range resIDs {
-		res := core.ResourceID(ri)
+	shares := o.shares[:0]
+	for _, res := range o.sortedRes {
 		st := o.curState[res]
 		if st == 0 {
 			continue
@@ -111,22 +129,26 @@ func (o *OnlineAccountant) charge(dtUS int64, dUJ float64) {
 			continue
 		}
 		modeledMW += mw
-		var labels []core.Label
+		// Grow into the retained backing array so each slot's labels slice
+		// keeps its capacity across events — steady state allocates nothing.
+		if len(shares) < cap(shares) {
+			shares = shares[:len(shares)+1]
+		} else {
+			shares = append(shares, share{})
+		}
+		s := &shares[len(shares)-1]
+		s.mw = mw
+		s.labels = s.labels[:0]
 		if set, ok := o.curMulti[res]; ok && len(set) > 0 {
 			for l := range set {
-				labels = append(labels, l)
+				s.labels = append(s.labels, l)
 			}
-			sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+			sort.Slice(s.labels, func(i, j int) bool { return s.labels[i] < s.labels[j] })
 		} else if l, ok := o.curAct[res]; ok {
-			labels = []core.Label{l}
+			s.labels = append(s.labels, l)
 		}
-		shares = append(shares, share{labels: labels, mw: mw})
 	}
-
-	// Wall time accrues to the CPU's current activity.
-	if l, ok := o.curAct[0]; ok {
-		o.timeUS[l] += dtUS
-	}
+	o.shares = shares
 
 	if modeledMW <= 0 || dUJ <= 0 {
 		o.baseUJ += dUJ
@@ -157,6 +179,9 @@ func (o *OnlineAccountant) charge(dtUS int64, dUJ float64) {
 func (o *OnlineAccountant) observe(e core.Entry) {
 	switch e.Type {
 	case core.EntryPowerState:
+		if _, seen := o.curState[e.Res]; !seen {
+			o.sortedRes = insertResSorted(o.sortedRes, e.Res)
+		}
 		o.curState[e.Res] = e.State()
 	case core.EntryActivitySet, core.EntryActivityBind:
 		o.curAct[e.Res] = e.Label()

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestStreamAnalyzerMatchesSliceAnalyze feeds the same log entry-at-a-time
+// through the streaming analyzer and checks every derived quantity against
+// the slice-based entry point.
+func TestStreamAnalyzerMatchesSliceAnalyze(t *testing.T) {
+	b := buildTwoSinkTrace()
+	tr := b.trace()
+	dict := core.NewDictionary()
+
+	want, err := Analyze(tr, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sa := NewStreamAnalyzer(1, b.pulseUJ, 3.0, dict, DefaultOptions())
+	for _, e := range b.entries {
+		sa.Record(e)
+	}
+	got, err := sa.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Span() != want.Span() {
+		t.Errorf("Span = %d, want %d", got.Span(), want.Span())
+	}
+	if got.TotalEnergyUJ() != want.TotalEnergyUJ() {
+		t.Errorf("TotalEnergyUJ = %g, want %g", got.TotalEnergyUJ(), want.TotalEnergyUJ())
+	}
+	if len(got.Intervals) != len(want.Intervals) {
+		t.Fatalf("intervals = %d, want %d", len(got.Intervals), len(want.Intervals))
+	}
+	for p, mw := range want.Reg.PowerMW {
+		if math.Abs(got.Reg.PowerMW[p]-mw) > 1e-9 {
+			t.Errorf("PowerMW[%v] = %g, want %g", p, got.Reg.PowerMW[p], mw)
+		}
+	}
+	if math.Abs(got.Reg.ConstMW-want.Reg.ConstMW) > 1e-9 {
+		t.Errorf("ConstMW = %g, want %g", got.Reg.ConstMW, want.Reg.ConstMW)
+	}
+	wantEnergy := want.EnergyByActivity()
+	for l, uj := range got.EnergyByActivity() {
+		if math.Abs(uj-wantEnergy[l]) > 1e-9 {
+			t.Errorf("EnergyByActivity[%v] = %g, want %g", l, uj, wantEnergy[l])
+		}
+	}
+}
+
+// TestStreamAnalyzerBatchEqualsSingle checks the two sink paths agree.
+func TestStreamAnalyzerBatchEqualsSingle(t *testing.T) {
+	b := buildTwoSinkTrace()
+	dict := core.NewDictionary()
+
+	one := NewStreamAnalyzer(1, b.pulseUJ, 3.0, dict, DefaultOptions())
+	for _, e := range b.entries {
+		one.Record(e)
+	}
+	batch := NewStreamAnalyzer(1, b.pulseUJ, 3.0, dict, DefaultOptions())
+	batch.RecordBatch(b.entries)
+
+	ar, err := one.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := batch.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Span() != br.Span() || ar.TotalEnergyUJ() != br.TotalEnergyUJ() ||
+		len(ar.Intervals) != len(br.Intervals) {
+		t.Errorf("single and batch paths diverge: span %d/%d energy %g/%g intervals %d/%d",
+			ar.Span(), br.Span(), ar.TotalEnergyUJ(), br.TotalEnergyUJ(),
+			len(ar.Intervals), len(br.Intervals))
+	}
+}
+
+func TestStreamAnalyzerTooFewEntries(t *testing.T) {
+	sa := NewStreamAnalyzer(1, 8.33, 3.0, core.NewDictionary(), DefaultOptions())
+	sa.Record(core.Entry{Type: core.EntryMarker})
+	if _, err := sa.Finish(); err == nil {
+		t.Error("one entry should not analyze")
+	}
+}
+
+// TestStreamAnalyzerUnwrapsTimestamps checks the span is computed across a
+// 32-bit clock wrap.
+func TestStreamAnalyzerUnwrapsTimestamps(t *testing.T) {
+	sa := NewStreamAnalyzer(1, 8.33, 3.0, core.NewDictionary(), DefaultOptions())
+	sa.Record(core.Entry{Type: core.EntryMarker, Time: 0xFFFF_FF00, IC: 0})
+	sa.Record(core.Entry{Type: core.EntryMarker, Time: 0x100, IC: 10})
+	a, err := sa.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpan := int64(1<<32+0x100) - int64(0xFFFF_FF00)
+	if a.Span() != wantSpan {
+		t.Errorf("Span = %d, want %d", a.Span(), wantSpan)
+	}
+	if a.TotalPulses != 10 {
+		t.Errorf("TotalPulses = %d", a.TotalPulses)
+	}
+}
+
+// TestNetworkAnalyzerMatchesPerNodeAnalyses demuxes a merged two-node
+// stream and checks the aggregate equals per-node slice analysis.
+func TestNetworkAnalyzerMatchesPerNodeAnalyses(t *testing.T) {
+	dict := core.NewDictionary()
+	b1 := buildTwoSinkTrace()
+	b2 := buildTwoSinkTrace()
+
+	// Per-node slice path.
+	a1, err := Analyze(NewNodeTrace(1, b1.entries, b1.pulseUJ, 3.0), dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(NewNodeTrace(2, b2.entries, b2.pulseUJ, 3.0), dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewNetwork(dict, a1, a2)
+
+	// Streaming path over the merged stream.
+	na := NewNetworkAnalyzer(dict, DefaultOptions(), b1.pulseUJ, 3.0)
+	m, err := trace.NewMerger([]trace.Stream{
+		{Node: 1, Source: trace.NewSliceSource(b1.entries)},
+		{Node: 2, Source: trace.NewSliceSource(b2.entries)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := na.ConsumeAll(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := na.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Nodes) != 2 {
+		t.Fatalf("network has %d nodes", len(got.Nodes))
+	}
+	if math.Abs(got.TotalEnergyUJ()-want.TotalEnergyUJ()) > 1e-9 {
+		t.Errorf("TotalEnergyUJ = %g, want %g", got.TotalEnergyUJ(), want.TotalEnergyUJ())
+	}
+	wantByAct := want.EnergyByActivity()
+	for l, uj := range got.EnergyByActivity() {
+		if math.Abs(uj-wantByAct[l]) > 1e-9 {
+			t.Errorf("EnergyByActivity[%v] = %g, want %g", l, uj, wantByAct[l])
+		}
+	}
+}
+
+// TestOnlineAccountantBatchEqualsSingle checks RecordBatch folds identically
+// to entry-at-a-time Record.
+func TestOnlineAccountantBatchEqualsSingle(t *testing.T) {
+	b := buildTwoSinkTrace()
+	model := map[Predictor]float64{
+		{Res: resA, State: 1}: 9.0,
+		{Res: resB, State: 1}: 4.5,
+	}
+	one := NewOnlineAccountant(1, b.pulseUJ, model)
+	for _, e := range b.entries {
+		one.Record(e)
+	}
+	batch := NewOnlineAccountant(1, b.pulseUJ, model)
+	batch.RecordBatch(b.entries)
+	if one.TotalUJ() != batch.TotalUJ() || one.Events() != batch.Events() {
+		t.Errorf("batch path diverges: %g/%d vs %g/%d",
+			one.TotalUJ(), one.Events(), batch.TotalUJ(), batch.Events())
+	}
+}

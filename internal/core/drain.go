@@ -60,14 +60,22 @@ func (d *DrainSink) Record(e Entry) bool {
 	return ok
 }
 
+// RecordBatch implements BatchSink: the batch lands in the RAM buffer in one
+// append and the drain is scheduled at most once.
+func (d *DrainSink) RecordBatch(entries []Entry) int {
+	kept := d.buf.RecordBatch(entries)
+	if d.buf.Len() >= d.HighWater && !d.draining {
+		d.scheduleDrain()
+	}
+	return kept
+}
+
 func (d *DrainSink) scheduleDrain() {
 	d.draining = true
 	n := d.buf.Len()
 	cycles := uint32(n) * d.CostPerEntry
 	d.pump.ScheduleDrain(d.Label, cycles, func() {
-		for _, e := range d.buf.Drain() {
-			d.out.Record(e)
-		}
+		RecordAll(d.out, d.buf.Drain())
 		d.drained += uint64(n)
 		d.rounds++
 		d.draining = false
@@ -81,9 +89,7 @@ func (d *DrainSink) scheduleDrain() {
 // Flush force-drains the buffer synchronously into the output sink without
 // charging CPU (used at the end of a run by the harness).
 func (d *DrainSink) Flush() {
-	for _, e := range d.buf.Drain() {
-		d.out.Record(e)
-	}
+	RecordAll(d.out, d.buf.Drain())
 }
 
 // Drained returns how many entries left through the back channel and in how

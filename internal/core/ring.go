@@ -1,0 +1,74 @@
+package core
+
+// RingBuffer is a fixed-capacity sink that keeps the most recent entries,
+// overwriting the oldest when full — the "flight recorder" variant of the
+// mote's RAM buffer. Where RAMBuffer models the paper's stop-when-full log
+// (Section 4.4), the ring models an always-on deployment that can afford to
+// lose history but never the present: the scope of a crash or anomaly is
+// reconstructed from whatever window is still in RAM. Record never rejects
+// an entry, so trackers wired to a ring observe no drops.
+type RingBuffer struct {
+	entries []Entry
+	cap     int
+	next    int    // index of the slot the next entry lands in
+	wrapped bool   // true once the ring has overwritten at least one entry
+	evicted uint64 // total entries overwritten
+}
+
+// NewRingBuffer returns a ring holding at most capEntries entries;
+// capEntries <= 0 selects the paper's 800-entry default.
+func NewRingBuffer(capEntries int) *RingBuffer {
+	if capEntries <= 0 {
+		capEntries = DefaultRAMBufferEntries
+	}
+	return &RingBuffer{entries: make([]Entry, 0, capEntries), cap: capEntries}
+}
+
+// Record stores e, evicting the oldest entry if the ring is full.
+func (r *RingBuffer) Record(e Entry) bool {
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, e)
+		r.next = len(r.entries) % r.cap
+		return true
+	}
+	r.entries[r.next] = e
+	r.next = (r.next + 1) % r.cap
+	r.wrapped = true
+	r.evicted++
+	return true
+}
+
+// RecordBatch implements BatchSink. A batch at least as large as the ring
+// replaces its entire contents with the batch's tail in one copy.
+func (r *RingBuffer) RecordBatch(entries []Entry) int {
+	n := len(entries)
+	if n >= r.cap {
+		r.evicted += uint64(len(r.entries)) + uint64(n-r.cap)
+		r.entries = r.entries[:r.cap]
+		copy(r.entries, entries[n-r.cap:])
+		r.next = 0
+		r.wrapped = true
+		return n
+	}
+	for _, e := range entries {
+		r.Record(e)
+	}
+	return n
+}
+
+// Len returns the number of entries currently held.
+func (r *RingBuffer) Len() int { return len(r.entries) }
+
+// Evicted returns how many entries have been overwritten so far.
+func (r *RingBuffer) Evicted() uint64 { return r.evicted }
+
+// Snapshot returns the held entries oldest-first.
+func (r *RingBuffer) Snapshot() []Entry {
+	out := make([]Entry, 0, len(r.entries))
+	if r.wrapped {
+		out = append(out, r.entries[r.next:]...)
+		out = append(out, r.entries[:r.next]...)
+		return out
+	}
+	return append(out, r.entries...)
+}

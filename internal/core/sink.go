@@ -1,5 +1,32 @@
 package core
 
+// BatchSink is the batched extension of Sink: RecordBatch consumes a whole
+// slice of entries in one call and returns how many were kept. It is the
+// streaming pipeline's fast path — the per-entry interface dispatch and
+// bounds checks of Record are paid once per batch instead of once per entry.
+// Implementations must not retain the batch slice after returning.
+type BatchSink interface {
+	Sink
+	RecordBatch(entries []Entry) int
+}
+
+// RecordAll feeds a batch to any sink, using the batched path when the sink
+// implements BatchSink and falling back to entry-at-a-time Record otherwise.
+// It is the compatibility adapter between the streaming pipeline and
+// pre-existing single-entry sinks. Returns the number of entries kept.
+func RecordAll(s Sink, entries []Entry) int {
+	if bs, ok := s.(BatchSink); ok {
+		return bs.RecordBatch(entries)
+	}
+	kept := 0
+	for _, e := range entries {
+		if s.Record(e) {
+			kept++
+		}
+	}
+	return kept
+}
+
 // RAMBuffer is the fixed-size log store used on the mote: "a fixed buffer in
 // RAM that holds 800 log entries" (Section 4.4). When full, Record reports
 // false and the entry is dropped; the host-side harness either stops the run
@@ -28,6 +55,20 @@ func (b *RAMBuffer) Record(e Entry) bool {
 	}
 	b.entries = append(b.entries, e)
 	return true
+}
+
+// RecordBatch implements BatchSink: it stores as many entries as fit and
+// drops the rest, returning the number kept.
+func (b *RAMBuffer) RecordBatch(entries []Entry) int {
+	room := b.cap - len(b.entries)
+	if room <= 0 {
+		return 0
+	}
+	if room > len(entries) {
+		room = len(entries)
+	}
+	b.entries = append(b.entries, entries[:room]...)
+	return room
 }
 
 // Len returns the number of stored entries.
@@ -70,15 +111,26 @@ func (c *Collector) Record(e Entry) bool {
 	return true
 }
 
+// RecordBatch implements BatchSink with a single append.
+func (c *Collector) RecordBatch(entries []Entry) int {
+	c.Entries = append(c.Entries, entries...)
+	return len(entries)
+}
+
 // Len returns the number of collected entries.
 func (c *Collector) Len() int { return len(c.Entries) }
 
 // Tee duplicates entries to several sinks; Record reports whether all sinks
 // kept the entry. It lets a run keep the realistic 800-entry RAM buffer
-// while the harness still sees the complete stream.
+// while the harness still sees the complete stream — and, on the streaming
+// pipeline, lets one event stream feed the log, the online accountant, and
+// a counting or ring sink simultaneously without copying the batch.
 type Tee struct {
 	Sinks []Sink
 }
+
+// NewTee fans one stream out to several sinks.
+func NewTee(sinks ...Sink) *Tee { return &Tee{Sinks: sinks} }
 
 // Record forwards e to every sink.
 func (t *Tee) Record(e Entry) bool {
@@ -89,6 +141,19 @@ func (t *Tee) Record(e Entry) bool {
 		}
 	}
 	return ok
+}
+
+// RecordBatch hands the same batch slice to every sink (sinks must not
+// retain it), so fan-out costs no extra copies. It returns the minimum kept
+// across sinks: the batch is only fully kept if every sink kept all of it.
+func (t *Tee) RecordBatch(entries []Entry) int {
+	kept := len(entries)
+	for _, s := range t.Sinks {
+		if n := RecordAll(s, entries); n < kept {
+			kept = n
+		}
+	}
+	return kept
 }
 
 // CounterSink is the "counting instead of logging" alternative discussed in
@@ -115,4 +180,13 @@ func (c *CounterSink) Record(e Entry) bool {
 	c.PerType[e.Type]++
 	c.PerRes[e.Res]++
 	return true
+}
+
+// RecordBatch tallies a whole batch.
+func (c *CounterSink) RecordBatch(entries []Entry) int {
+	for _, e := range entries {
+		c.PerType[e.Type]++
+		c.PerRes[e.Res]++
+	}
+	return len(entries)
 }

@@ -22,15 +22,23 @@ func NetworkFootprint(seed uint64) (*Report, error) {
 	relay := apps.NewRelay(seed, cfg)
 	relay.Run(20 * units.Second)
 
-	var analyses []*analysis.Analysis
+	// Merge every node's log into one time-ordered stream and demux it
+	// through per-node streaming analyzers in a single pass.
+	na := analysis.NewNetworkAnalyzer(relay.World.Dict, analysis.DefaultOptions(), 0, 0)
 	for _, n := range relay.Nodes {
-		a, err := analyzeNode(relay.World, n)
-		if err != nil {
-			return nil, err
-		}
-		analyses = append(analyses, a)
+		na.AddNode(n.ID, n.Meter.PulseEnergy(), n.Volts)
 	}
-	net := analysis.NewNetwork(relay.World.Dict, analyses...)
+	merged, err := relay.World.Merged()
+	if err != nil {
+		return nil, err
+	}
+	if err := na.ConsumeAll(merged); err != nil {
+		return nil, err
+	}
+	net, err := na.Finish()
+	if err != nil {
+		return nil, err
+	}
 
 	var sb strings.Builder
 	gen, del := relay.Stats()

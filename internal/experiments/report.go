@@ -52,10 +52,12 @@ func newReport(id, title string) *Report {
 	return &Report{ID: id, Title: title, Values: make(map[string]float64)}
 }
 
-// analyzeNode runs the default analysis pipeline on one node's log.
+// analyzeNode runs the default analysis pipeline on one node's log via the
+// single-pass streaming analyzer.
 func analyzeNode(w *mote.World, n *mote.Node) (*analysis.Analysis, error) {
-	tr := analysis.NewNodeTrace(n.ID, n.Log.Entries, n.Meter.PulseEnergy(), n.Volts)
-	return analysis.Analyze(tr, w.Dict, analysis.DefaultOptions())
+	sa := analysis.NewStreamAnalyzer(n.ID, n.Meter.PulseEnergy(), n.Volts, w.Dict, analysis.DefaultOptions())
+	sa.RecordBatch(n.Log.Entries)
+	return sa.Finish()
 }
 
 // labelName renders a label through the world dictionary.

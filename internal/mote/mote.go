@@ -18,6 +18,7 @@ import (
 	"repro/internal/scope"
 	"repro/internal/sensor"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -51,6 +52,11 @@ type Options struct {
 	// DrainCostPerEntry is the CPU cost of pushing one entry over the back
 	// channel in continuous mode (default 120 cycles).
 	DrainCostPerEntry uint32
+	// ExtraSinks are fanned the live event stream alongside the collector
+	// (and RAM buffer / drain, if configured) via a batch-aware Tee — how an
+	// analysis.OnlineAccountant or a core.RingBuffer rides the same stream
+	// as the log without extra copies.
+	ExtraSinks []core.Sink
 }
 
 // DefaultOptions returns the standard single-node configuration.
@@ -149,7 +155,10 @@ func (w *World) AddNode(id core.NodeID, opts Options) *Node {
 		sink = drain
 	case opts.RAMBufferEntries > 0:
 		ram = core.NewRAMBuffer(opts.RAMBufferEntries)
-		sink = &core.Tee{Sinks: []core.Sink{log, ram}}
+		sink = core.NewTee(log, ram)
+	}
+	if len(opts.ExtraSinks) > 0 {
+		sink = core.NewTee(append([]core.Sink{sink}, opts.ExtraSinks...)...)
 	}
 
 	trk := core.NewTracker(core.Config{
@@ -235,6 +244,21 @@ func (w *World) NodeLogs() map[core.NodeID][]core.Entry {
 		out[n.ID] = n.Log.Entries
 	}
 	return out
+}
+
+// NodeStreams exposes every node's collected log as a merge input, without
+// copying the entries.
+func (w *World) NodeStreams() []trace.Stream {
+	out := make([]trace.Stream, 0, len(w.Nodes))
+	for _, n := range w.Nodes {
+		out = append(out, trace.Stream{Node: n.ID, Source: trace.NewSliceSource(n.Log.Entries)})
+	}
+	return out
+}
+
+// Merged k-way merges every node's log into one time-ordered network stream.
+func (w *World) Merged() (*trace.Merger, error) {
+	return trace.NewMerger(w.NodeStreams())
 }
 
 // NewSingleNode is the quickstart helper: one node, id 1, default options,

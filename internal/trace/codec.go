@@ -83,9 +83,10 @@ func Unmarshal(data []byte) ([]core.Entry, error) {
 // Writer streams encoded entries to an io.Writer, standing in for the mote's
 // serial back channel.
 type Writer struct {
-	w   io.Writer
-	buf [EntrySize]byte
-	n   int
+	w     io.Writer
+	buf   [EntrySize]byte
+	batch []byte // reusable WriteBatch encode buffer
+	n     int
 }
 
 // NewWriter returns a Writer emitting to w.
@@ -106,8 +107,9 @@ func (w *Writer) Count() int { return w.n }
 
 // Reader decodes a stream of entries from an io.Reader.
 type Reader struct {
-	r   io.Reader
-	buf [EntrySize]byte
+	r     io.Reader
+	buf   [EntrySize]byte
+	batch []byte // reusable ReadBatch decode buffer
 }
 
 // NewReader returns a Reader consuming from r.

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Next implements EntrySource, letting a Reader feed a Merger directly.
+func (r *Reader) Next() (core.Entry, error) { return r.Read() }
+
+// DefaultBatchEntries is the batch size the streaming helpers use: large
+// enough to amortize syscalls and channel hops, small enough that per-node
+// decode buffers stay a few tens of kilobytes.
+const DefaultBatchEntries = 4096
+
+// ReadBatch decodes up to len(dst) entries into dst with one bulk read,
+// returning how many were decoded. It returns io.EOF only with n == 0 at a
+// clean end of stream; a trailing partial frame is an error. The caller owns
+// dst, so steady-state batch decoding allocates nothing.
+func (r *Reader) ReadBatch(dst []core.Entry) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	want := len(dst) * EntrySize
+	if cap(r.batch) < want {
+		r.batch = make([]byte, want)
+	}
+	buf := r.batch[:want]
+	read, err := io.ReadFull(r.r, buf)
+	if read == 0 {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("trace: read: %w", err)
+	}
+	n := read / EntrySize
+	for i := 0; i < n; i++ {
+		e, derr := Decode(buf[i*EntrySize:])
+		if derr != nil {
+			return i, fmt.Errorf("trace: entry %d: %w", i, derr)
+		}
+		dst[i] = e
+	}
+	// Complete frames are delivered even when the stream ends badly: a
+	// trailing partial frame is an error on this call, not silent loss.
+	// A mid-frame read failure keeps the underlying error visible so I/O
+	// faults are not misdiagnosed as file corruption.
+	if rem := read % EntrySize; rem != 0 {
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return n, fmt.Errorf("trace: truncated entry (%d trailing bytes): %w", rem, err)
+		}
+		return n, fmt.Errorf("trace: truncated entry: %d trailing bytes", rem)
+	}
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return n, fmt.Errorf("trace: read: %w", err)
+	}
+	return n, nil
+}
+
+// WriteBatch encodes and emits a whole batch with one underlying write,
+// reusing an internal buffer so steady-state encoding allocates nothing.
+func (w *Writer) WriteBatch(entries []core.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	want := len(entries) * EntrySize
+	if cap(w.batch) < want {
+		w.batch = make([]byte, want)
+	}
+	buf := w.batch[:want]
+	for i, e := range entries {
+		Encode(buf[i*EntrySize:], e)
+	}
+	wrote, err := w.w.Write(buf)
+	if err != nil {
+		return fmt.Errorf("trace: write batch at entry %d: %w", w.n+wrote/EntrySize, err)
+	}
+	if wrote != want {
+		return fmt.Errorf("trace: short write: %d of %d bytes", wrote, want)
+	}
+	w.n += len(entries)
+	return nil
+}
+
+// batchResult is one decoded chunk handed from a decode goroutine to the
+// consuming iterator.
+type batchResult struct {
+	entries []core.Entry
+	err     error
+}
+
+// chanSource adapts a channel of decoded batches to EntrySource. Two buffer
+// slices alternate between producer and consumer through the free channel,
+// so a multi-megabyte trace is decoded with two small reusable buffers per
+// node rather than living in memory twice. Close releases the producer
+// goroutine; the Merger calls it when the merge ends or abandons the
+// stream.
+type chanSource struct {
+	ch     chan batchResult
+	free   chan []core.Entry
+	stop   chan struct{}
+	cur    []core.Entry
+	pos    int
+	err    error
+	done   bool
+	closed bool
+}
+
+// Close implements the merger's sourceCloser: it unblocks and terminates
+// the decode goroutine. Safe to call more than once.
+func (c *chanSource) Close() {
+	if !c.closed {
+		c.closed = true
+		close(c.stop)
+	}
+}
+
+// Next implements EntrySource.
+func (c *chanSource) Next() (core.Entry, error) {
+	for c.pos >= len(c.cur) {
+		if c.err != nil {
+			return core.Entry{}, c.err
+		}
+		if c.done {
+			return core.Entry{}, io.EOF
+		}
+		if c.cur != nil {
+			c.free <- c.cur[:0]
+		}
+		res, ok := <-c.ch
+		if !ok {
+			c.done = true
+			c.cur = nil
+			return core.Entry{}, io.EOF
+		}
+		c.cur, c.pos = res.entries, 0
+		if res.err != nil {
+			c.err = res.err
+			c.done = true
+		}
+	}
+	e := c.cur[c.pos]
+	c.pos++
+	return e, nil
+}
+
+// decodeAsync decodes r in a goroutine, producing batches of at most
+// batchEntries entries. The goroutine exits after EOF or the first error.
+func decodeAsync(r io.Reader, batchEntries int) *chanSource {
+	if batchEntries <= 0 {
+		batchEntries = DefaultBatchEntries
+	}
+	src := &chanSource{
+		ch:   make(chan batchResult, 1),
+		free: make(chan []core.Entry, 2),
+		stop: make(chan struct{}),
+	}
+	src.free <- make([]core.Entry, 0, batchEntries)
+	src.free <- make([]core.Entry, 0, batchEntries)
+	dec := NewReader(r)
+	go func() {
+		defer close(src.ch)
+		for {
+			var buf []core.Entry
+			select {
+			case buf = <-src.free:
+			case <-src.stop:
+				return
+			}
+			n, err := dec.ReadBatch(buf[:batchEntries])
+			if err == io.EOF {
+				return
+			}
+			res := batchResult{entries: buf[:n]}
+			if err != nil {
+				res.err = err
+			}
+			select {
+			case src.ch <- res:
+			case <-src.stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return src
+}
+
+// ReaderStream names one node's encoded byte stream.
+type ReaderStream struct {
+	Node core.NodeID
+	R    io.Reader
+}
+
+// MergeReaders k-way merges several nodes' encoded streams, decoding each
+// node concurrently in its own goroutine. batchEntries bounds the per-node
+// decode buffers (<= 0 selects DefaultBatchEntries); total memory is
+// O(k * batchEntries) regardless of trace size. Drain the merged stream to
+// io.EOF or to an error — the merger then shuts every decode goroutine
+// down, including those of healthy streams abandoned by an error elsewhere.
+func MergeReaders(streams []ReaderStream, batchEntries int) (*Merger, error) {
+	merged := make([]Stream, len(streams))
+	for i, s := range streams {
+		merged[i] = Stream{Node: s.Node, Source: decodeAsync(s.R, batchEntries)}
+	}
+	return NewMerger(merged)
+}
