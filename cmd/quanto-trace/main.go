@@ -8,8 +8,21 @@
 //	quanto-trace summary FILE                    per-type/resource counts
 //	quanto-trace analyze FILE                    regression + energy totals
 //	quanto-trace merge OUT FILE...               k-way merge node logs by time
+//	quanto-trace sweep [-workers N] FILE         run a scenario spec or matrix
 //
 // FILE and OUT may be "-" for stdin/stdout, so logs pipe between tools.
+//
+// sweep reads a declarative scenario spec, or a matrix sweeping any spec
+// field over a list of values across replicated seeds, expands it, and runs
+// the whole thing over a worker pool. One JSON result streams out per run in
+// matrix order — byte-identical for any -workers value — followed by a final
+// cross-seed aggregate with per-activity mean/stddev energy breakdowns:
+//
+//	echo '{"base": {"app": "lpl", "duration_us": 14000000, "seed": 1},
+//	       "sweep": {"channel": [17, 26]}, "seeds": 8}' |
+//	  quanto-trace sweep -workers 4 -
+//
+// Use -apps to list the registered workloads.
 // Every subcommand streams through the batched decoder: a trace is processed
 // in fixed-size chunks and never fully materialized, so multi-gigabyte logs
 // use constant memory. The binary format is exactly what a real mote would
@@ -18,10 +31,12 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/analysis"
@@ -29,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/icount"
 	"repro/internal/mote"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -41,6 +57,8 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "simulation seed (gen)")
 	secs := fs.Int("secs", 48, "run length in seconds (gen)")
+	workers := fs.Int("workers", 0, "worker pool size, 0 = GOMAXPROCS (sweep)")
+	listApps := fs.Bool("apps", false, "list registered scenario apps and exit (sweep)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -63,6 +81,17 @@ func main() {
 			usage()
 		}
 		err = merge(fs.Arg(0), fs.Args()[1:])
+	case "sweep":
+		if *listApps {
+			for _, name := range scenario.Apps() {
+				fmt.Println(name)
+			}
+			return
+		}
+		if fs.NArg() != 1 {
+			usage()
+		}
+		err = sweep(fs.Arg(0), *workers)
 	default:
 		usage()
 	}
@@ -75,6 +104,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
        quanto-trace merge OUT FILE...
+       quanto-trace sweep [-workers N] [-apps] FILE
 FILE/OUT may be "-" for stdin/stdout`)
 	os.Exit(2)
 }
@@ -186,14 +216,37 @@ func dump(r *trace.Reader) error {
 
 func summary(r *trace.Reader) error {
 	counters := core.NewCounterSink()
-	var first, last core.Entry
+	// The wire timestamp is 32 bits (~71.6 min); unwrap it so long traces
+	// report their true span, and count pulses in 64 bits for the same
+	// reason. A merged multi-node trace interleaves unrelated iCount
+	// counters (the wire format carries no node id), which shows up as huge
+	// backwards jumps — flag it and report the pulse count as meaningless
+	// rather than summing garbage deltas.
+	var uw trace.Unwrapper
+	var startUS, endUS int64
+	var pulses uint64
+	var lastIC uint32
+	interleaved := false
 	total := 0
 	err := forEachBatch(r, func(batch []core.Entry) error {
-		if total == 0 {
-			first = batch[0]
+		for _, e := range batch {
+			at := uw.At(e.Time)
+			if total == 0 {
+				startUS = at
+				lastIC = e.IC
+			}
+			endUS = at
+			d := e.IC - lastIC // uint32 wrap-aware delta
+			if d >= 1<<31 {
+				// A real counter never loses ground; this is another node's
+				// counter spliced in by a merge.
+				interleaved = true
+			}
+			pulses += uint64(d)
+			lastIC = e.IC
+			total++
 		}
-		last = batch[len(batch)-1]
-		total += counters.RecordBatch(batch)
+		counters.RecordBatch(batch)
 		return nil
 	})
 	if err != nil {
@@ -218,7 +271,11 @@ func summary(r *trace.Reader) error {
 		fmt.Printf("  res%-4d %6d\n", r, counters.PerRes[core.ResourceID(r)])
 	}
 	if total > 0 {
-		fmt.Printf("span: %d us, %d pulses\n", last.Time-first.Time, last.IC-first.IC)
+		if interleaved {
+			fmt.Printf("span: %d us, pulses: n/a (merged stream interleaves per-node counters)\n", endUS-startUS)
+		} else {
+			fmt.Printf("span: %d us, %d pulses\n", endUS-startUS, pulses)
+		}
 	}
 	return nil
 }
@@ -245,6 +302,62 @@ func analyze(r *trace.Reader) error {
 	}
 	fmt.Printf("  const            %8.3f\n", a.Reg.ConstMW)
 	fmt.Printf("\nreconstruction error: %.5f%%\n", a.ReconstructionError()*100)
+	return nil
+}
+
+// sweep expands a spec or matrix file and runs it over a worker pool,
+// streaming one JSON result line per run in matrix order and a final
+// aggregate line. The output bytes depend only on the matrix content — not
+// on the worker count or which run finishes first.
+func sweep(name string, workers int) error {
+	in, err := openIn(name)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(in)
+	in.Close()
+	if err != nil {
+		return err
+	}
+	specs, err := scenario.ParseSpecOrMatrix(data)
+	if err != nil {
+		return err
+	}
+	effective := workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	if effective > len(specs) {
+		effective = len(specs)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d runs, %d workers\n", len(specs), effective)
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	enc := json.NewEncoder(w)
+	failed := 0
+	rn := &scenario.Runner{
+		Workers: workers,
+		OnResult: func(r *scenario.Result) {
+			if r.Error != "" {
+				failed++
+			}
+			enc.Encode(r)
+		},
+	}
+	results := rn.Run(specs)
+
+	ag := scenario.Aggregate(results)
+	if err := enc.Encode(struct {
+		Aggregate *analysis.Aggregate `json:"aggregate"`
+	}{ag}); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs failed (see their error fields)", failed, len(specs))
+	}
 	return nil
 }
 
@@ -309,6 +422,9 @@ func merge(outName string, inNames []string) error {
 		batch = append(batch, s.Entry)
 		if len(batch) == cap(batch) {
 			if err := flush(); err != nil {
+				// Abandoning the merge mid-stream: release the per-input
+				// decode goroutines before bailing out.
+				m.Close()
 				return err
 			}
 		}

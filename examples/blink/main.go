@@ -1,6 +1,8 @@
 // Blink runs the paper's hello-world calibration workload for 48 seconds
 // and prints the full "where have all the joules gone" breakdown of
-// Table 3, plus the activity timeline of Figure 11.
+// Table 3, plus the activity timeline of Figure 11. The run is declared as
+// a scenario spec and built through the app registry — the same path
+// `quanto-trace sweep` uses to run whole matrices of these.
 package main
 
 import (
@@ -11,8 +13,8 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/mote"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -21,15 +23,26 @@ func main() {
 	secs := flag.Int("secs", 48, "run length in seconds")
 	flag.Parse()
 
-	w, n, blink := apps.RunBlink(*seed, units.Ticks(*secs)*units.Second, mote.DefaultOptions())
+	in, err := scenario.Build(scenario.Spec{
+		App:        "blink",
+		Seed:       *seed,
+		DurationUS: int64(*secs) * int64(units.Second),
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	in.Run()
+
+	blink := in.App.(*apps.Blink)
 	tg := blink.Toggles()
 	fmt.Printf("toggles: red=%d green=%d blue=%d\n\n", tg[0], tg[1], tg[2])
 
-	tr := analysis.NewNodeTrace(n.ID, n.Log.Entries, n.Meter.PulseEnergy(), n.Volts)
-	a, err := analysis.Analyze(tr, w.Dict, analysis.DefaultOptions())
+	net, err := in.Network()
 	if err != nil {
 		log.Fatalf("analyze: %v", err)
 	}
+	n := blink.Node
+	a := net.Nodes[n.ID]
 
 	rows := a.ActivityRows([]core.ResourceID{power.ResCPU, power.ResLED0, power.ResLED1, power.ResLED2}, 0, a.Span())
 	fmt.Println(analysis.RenderGantt(rows, 0, a.Span(), 96))
@@ -37,7 +50,7 @@ func main() {
 	volts := float64(n.Volts)
 	fmt.Println("\nregressed draws:")
 	for _, p := range a.Reg.Predictors {
-		fmt.Printf("  %-12s state %-2d  %6.3f mA\n", w.Dict.ResourceName(p.Res), p.State, a.Reg.CurrentMA(p, volts))
+		fmt.Printf("  %-12s state %-2d  %6.3f mA\n", in.World.Dict.ResourceName(p.Res), p.State, a.Reg.CurrentMA(p, volts))
 	}
 	fmt.Printf("  %-12s           %6.3f mA\n", "const", a.Reg.ConstCurrentMA(volts))
 
@@ -45,7 +58,7 @@ func main() {
 	fmt.Println("\nenergy by hardware component:")
 	var total float64
 	for res, uj := range byRes {
-		fmt.Printf("  %-12s %8.2f mJ\n", w.Dict.ResourceName(res), uj/1000)
+		fmt.Printf("  %-12s %8.2f mJ\n", in.World.Dict.ResourceName(res), uj/1000)
 		total += uj
 	}
 	fmt.Printf("  %-12s %8.2f mJ\n", "const", constUJ/1000)

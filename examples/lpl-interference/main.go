@@ -1,7 +1,8 @@
-// lpl-interference reruns the paper's 802.11-vs-802.15.4 case study: a
-// low-power-listening mote checked against a WiFi access point on channel 6,
-// once on the overlapping 802.15.4 channel 17 and once on the clear channel
-// 26.
+// lpl-interference reruns the paper's 802.11-vs-802.15.4 case study as a
+// scenario matrix: the same low-power-listening spec swept over the
+// overlapping channel 17 and the clear channel 26 (and, with -seeds N,
+// replicated across derived seeds), executed concurrently by the sweep
+// runner — the in-process equivalent of `quanto-trace sweep`.
 package main
 
 import (
@@ -9,34 +10,50 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analysis"
-	"repro/internal/apps"
-	"repro/internal/power"
+	// Blank import: registers the paper's workloads with the scenario
+	// registry.
+	_ "repro/internal/apps"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
 func main() {
-	seed := flag.Uint64("seed", 11, "simulation seed")
+	seed := flag.Uint64("seed", 11, "base simulation seed")
 	secs := flag.Int("secs", 70, "run length in seconds (paper: 5 x 14 s)")
+	seeds := flag.Int("seeds", 1, "replicas per channel under derived seeds")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	for _, ch := range []int{17, 26} {
-		l := apps.NewLPL(*seed, apps.DefaultLPLConfig(ch))
-		l.Run(units.Ticks(*secs) * units.Second)
-
-		tr := analysis.NewNodeTrace(l.Node.ID, l.Node.Log.Entries, l.Node.Meter.PulseEnergy(), l.Node.Volts)
-		a, err := analysis.Analyze(tr, l.World.Dict, analysis.DefaultOptions())
-		if err != nil {
-			log.Fatalf("analyze ch%d: %v", ch, err)
-		}
-
-		wake, fps := l.Stats()
-		duty := float64(a.ActiveTimeUS(power.ResRadioReg)) / float64(a.Span())
-		fmt.Printf("channel %d:\n", ch)
-		fmt.Printf("  wake-ups:        %d (every 500 ms)\n", wake)
-		fmt.Printf("  false positives: %d (%.1f%%)\n", fps, l.FalsePositiveRate()*100)
-		fmt.Printf("  radio duty:      %.2f%%\n", duty*100)
-		fmt.Printf("  average power:   %.2f mW\n\n", a.AveragePowerMW())
+	matrix := scenario.Matrix{
+		Base: scenario.Spec{
+			App:        "lpl",
+			Seed:       *seed,
+			DurationUS: int64(*secs) * int64(units.Second),
+		},
+		Sweep: map[string][]any{"channel": {17, 26}},
+		Seeds: *seeds,
 	}
-	fmt.Println("paper: ch17 17.8% false positives, 5.58% duty; ch26 0%, 2.22%")
+	specs, err := matrix.Expand()
+	if err != nil {
+		log.Fatalf("expand: %v", err)
+	}
+
+	rn := &scenario.Runner{Workers: *workers}
+	results := rn.Run(specs)
+	for _, r := range results {
+		if r.Error != "" {
+			log.Fatalf("run %d (channel %d): %s", r.Run, r.Spec.Channel, r.Error)
+		}
+		fmt.Printf("channel %d (seed %d):\n", r.Spec.Channel, r.Spec.Seed)
+		fmt.Printf("  wake-ups:        %.0f (every 500 ms)\n", r.Metrics["wakeups"])
+		fmt.Printf("  false positives: %.0f (%.1f%%)\n", r.Metrics["false_positives"], r.Metrics["fp_rate"]*100)
+		fmt.Printf("  average power:   %.2f mW\n\n", r.AvgPowerMW)
+	}
+
+	if *seeds > 1 {
+		fmt.Println("cross-seed aggregate (mean ± std [min, max]):")
+		fmt.Print(scenario.Aggregate(results).Render())
+		fmt.Println()
+	}
+	fmt.Println("paper: ch17 17.8% false positives, 1.43 mW; ch26 0%, 0.919 mW")
 }

@@ -1,8 +1,9 @@
 // multihop demonstrates network-wide "butterfly effect" tracking: a packet
-// flood originated at node 1 is relayed down a 4-node line, and Quanto
+// flood originated at node 1 is relayed down a line of nodes, and Quanto
 // charges every hop's reception, forwarding and transmission energy back to
-// the originating activity — including energy spent three hops away from
-// where the activity started.
+// the originating activity — including energy spent several hops away from
+// where the activity started. The line is declared as a scenario spec
+// (sweep -hops to resize it) and analyzed in one streaming pass.
 package main
 
 import (
@@ -10,8 +11,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/analysis"
 	"repro/internal/apps"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -21,29 +22,30 @@ func main() {
 	secs := flag.Int("secs", 20, "run length in seconds")
 	flag.Parse()
 
-	cfg := apps.DefaultRelayConfig()
-	cfg.Hops = *hops
-	r := apps.NewRelay(*seed, cfg)
-	r.Run(units.Ticks(*secs) * units.Second)
+	in, err := scenario.Build(scenario.Spec{
+		App:        "relay",
+		Seed:       *seed,
+		Nodes:      *hops,
+		DurationUS: int64(*secs) * int64(units.Second),
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	in.Run()
+	r := in.App.(*apps.Relay)
 
 	gen, del := r.Stats()
 	fmt.Printf("packets: generated=%d delivered=%d over %d hops\n\n", gen, del, *hops)
 
-	var analyses []*analysis.Analysis
-	for _, n := range r.Nodes {
-		tr := analysis.NewNodeTrace(n.ID, n.Log.Entries, n.Meter.PulseEnergy(), n.Volts)
-		a, err := analysis.Analyze(tr, r.World.Dict, analysis.DefaultOptions())
-		if err != nil {
-			log.Fatalf("analyze node %d: %v", n.ID, err)
-		}
-		analyses = append(analyses, a)
+	net, err := in.Network()
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
 	}
-	net := analysis.NewNetwork(r.World.Dict, analyses...)
 
 	fmt.Println("network-wide energy by activity (Remote = spent away from the origin node):")
 	fmt.Print(net.Report())
 
-	fmt.Printf("\nfootprint of %s per node:\n", r.World.Dict.LabelName(r.Act))
+	fmt.Printf("\nfootprint of %s per node:\n", in.World.Dict.LabelName(r.Act))
 	for _, share := range net.Footprint(r.Act) {
 		fmt.Printf("  node %d: %8.3f mJ\n", share.Node, share.EnergyUJ/1000)
 	}

@@ -1,7 +1,8 @@
 // sense-and-send runs the Figure 7 application: a sensing node samples
 // humidity and temperature under dedicated activities and ships the
 // readings to a base station, which ends up charging its reception work to
-// the sensing node's packet activity.
+// the sensing node's packet activity. Declared as a scenario spec and
+// analyzed through the streaming network analyzer.
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -20,24 +22,33 @@ func main() {
 	secs := flag.Int("secs", 30, "run length in seconds")
 	flag.Parse()
 
-	s := apps.NewSenseSend(*seed, apps.DefaultSenseSendConfig())
-	s.Run(units.Ticks(*secs) * units.Second)
+	in, err := scenario.Build(scenario.Spec{
+		App:        "sensesend",
+		Seed:       *seed,
+		DurationUS: int64(*secs) * int64(units.Second),
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	in.Run()
+	s := in.App.(*apps.SenseSend)
 
 	sent, received := s.Stats()
 	fmt.Printf("reports: sent=%d received=%d; sensor conversions=%d\n\n",
 		sent, received, s.Sensor.Sensor.Reads())
 
-	// Sensing node: energy split across the three application activities.
-	tr := analysis.NewNodeTrace(s.Sensor.ID, s.Sensor.Log.Entries, s.Sensor.Meter.PulseEnergy(), s.Sensor.Volts)
-	a, err := analysis.Analyze(tr, s.World.Dict, analysis.DefaultOptions())
+	net, err := in.Network()
 	if err != nil {
-		log.Fatalf("analyze sensor: %v", err)
+		log.Fatalf("analyze: %v", err)
 	}
+
+	// Sensing node: energy split across the three application activities.
+	a := net.Nodes[s.Sensor.ID]
 	fmt.Println("sensing node, energy by activity:")
 	for l, uj := range a.EnergyByActivity() {
 		name := "Const."
 		if l != analysis.ConstLabel {
-			name = s.World.Dict.LabelName(l)
+			name = in.World.Dict.LabelName(l)
 		}
 		if uj < 1 {
 			continue
@@ -46,17 +57,13 @@ func main() {
 	}
 
 	// Base station: how much CPU time went to the sensing node's packets?
-	trB := analysis.NewNodeTrace(s.Base.ID, s.Base.Log.Entries, s.Base.Meter.PulseEnergy(), s.Base.Volts)
-	aB, err := analysis.Analyze(trB, s.World.Dict, analysis.DefaultOptions())
-	if err != nil {
-		log.Fatalf("analyze base: %v", err)
-	}
+	aB := net.Nodes[s.Base.ID]
 	times := aB.TimeByActivity()
 	fmt.Println("\nbase station, CPU time by activity:")
 	for l, us := range times[power.ResCPU] {
 		if us < 1000 {
 			continue
 		}
-		fmt.Printf("  %-14s %8.2f ms\n", s.World.Dict.LabelName(l), float64(us)/1000)
+		fmt.Printf("  %-14s %8.2f ms\n", in.World.Dict.LabelName(l), float64(us)/1000)
 	}
 }

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RunningStat accumulates a stream of samples into mean/variance/extrema
+// using Welford's online algorithm: numerically stable, O(1) memory, no
+// second pass — the same philosophy as the streaming trace pipeline.
+type RunningStat struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample in.
+func (s *RunningStat) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *RunningStat) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *RunningStat) Mean() float64 { return s.mean }
+
+// Std returns the sample standard deviation (n-1 denominator; 0 for fewer
+// than two samples).
+func (s *RunningStat) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval on the mean.
+func (s *RunningStat) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Min and Max return the extrema (0 with no samples).
+func (s *RunningStat) Min() float64 { return s.min }
+func (s *RunningStat) Max() float64 { return s.max }
+
+// statJSON is the serialized form of one statistic.
+type statJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// GroupStats holds the per-metric statistics of one configuration group.
+type GroupStats struct {
+	// Key identifies the group (for scenario sweeps, the spec's canonical
+	// configuration JSON).
+	Key string
+	// N counts the runs folded into the group.
+	N     int
+	stats map[string]*RunningStat
+}
+
+// Stat returns the named metric's statistic, or nil.
+func (g *GroupStats) Stat(name string) *RunningStat { return g.stats[name] }
+
+// Metrics lists the group's metric names, sorted.
+func (g *GroupStats) Metrics() []string {
+	out := make([]string, 0, len(g.stats))
+	for k := range g.stats {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregate folds scalar outputs of many runs into per-group statistics —
+// the cross-seed view of a sweep: per-activity mean/stddev energy breakdowns
+// in the style of the paper's Tables 2 and 3, now with confidence intervals.
+// Groups keep insertion order, so aggregate output over a deterministic run
+// sequence is itself deterministic.
+type Aggregate struct {
+	order  []string
+	groups map[string]*GroupStats
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{groups: make(map[string]*GroupStats)}
+}
+
+// Add folds one run's scalar values into the named group.
+func (ag *Aggregate) Add(group string, values map[string]float64) {
+	g := ag.groups[group]
+	if g == nil {
+		g = &GroupStats{Key: group, stats: make(map[string]*RunningStat)}
+		ag.groups[group] = g
+		ag.order = append(ag.order, group)
+	}
+	g.N++
+	for name, x := range values {
+		st := g.stats[name]
+		if st == nil {
+			st = &RunningStat{}
+			g.stats[name] = st
+		}
+		st.Add(x)
+	}
+}
+
+// Groups returns the groups in insertion order.
+func (ag *Aggregate) Groups() []*GroupStats {
+	out := make([]*GroupStats, 0, len(ag.order))
+	for _, k := range ag.order {
+		out = append(out, ag.groups[k])
+	}
+	return out
+}
+
+// Group returns the named group, or nil.
+func (ag *Aggregate) Group(key string) *GroupStats { return ag.groups[key] }
+
+// MarshalJSON renders the aggregate deterministically: groups in insertion
+// order, metrics sorted by name.
+func (ag *Aggregate) MarshalJSON() ([]byte, error) {
+	type groupJSON struct {
+		Key   string              `json:"key"`
+		N     int                 `json:"n"`
+		Stats map[string]statJSON `json:"stats"`
+	}
+	out := struct {
+		Groups []groupJSON `json:"groups"`
+	}{Groups: make([]groupJSON, 0, len(ag.order))}
+	for _, g := range ag.Groups() {
+		gj := groupJSON{Key: g.Key, N: g.N, Stats: make(map[string]statJSON, len(g.stats))}
+		for name, st := range g.stats {
+			gj.Stats[name] = statJSON{
+				N: st.N(), Mean: st.Mean(), Std: st.Std(),
+				CI95: st.CI95(), Min: st.Min(), Max: st.Max(),
+			}
+		}
+		out.Groups = append(out.Groups, gj)
+	}
+	return json.Marshal(out)
+}
+
+// Render returns a human-readable table: one block per group, one row per
+// metric with mean ± std [min, max].
+func (ag *Aggregate) Render() string {
+	var sb strings.Builder
+	for _, g := range ag.Groups() {
+		fmt.Fprintf(&sb, "%s  (n=%d)\n", g.Key, g.N)
+		for _, name := range g.Metrics() {
+			st := g.stats[name]
+			fmt.Fprintf(&sb, "  %-28s %12.4g ± %-10.4g [%.4g, %.4g]\n",
+				name, st.Mean(), st.Std(), st.Min(), st.Max())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunningStat(t *testing.T) {
+	var s RunningStat
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", s.Mean())
+	}
+	// Sample stddev of the classic example: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("std = %g, want %g", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	wantCI := 1.96 * want / math.Sqrt(8)
+	if math.Abs(s.CI95()-wantCI) > 1e-12 {
+		t.Errorf("ci95 = %g, want %g", s.CI95(), wantCI)
+	}
+}
+
+func TestRunningStatDegenerate(t *testing.T) {
+	var s RunningStat
+	if s.Std() != 0 || s.CI95() != 0 || s.N() != 0 {
+		t.Error("zero-value stat not degenerate")
+	}
+	s.Add(3)
+	if s.Std() != 0 || s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-sample stat wrong")
+	}
+}
+
+func TestAggregateGroups(t *testing.T) {
+	ag := NewAggregate()
+	ag.Add("b", map[string]float64{"x": 1, "y": 10})
+	ag.Add("a", map[string]float64{"x": 5})
+	ag.Add("b", map[string]float64{"x": 3, "y": 20})
+
+	groups := ag.Groups()
+	if len(groups) != 2 || groups[0].Key != "b" || groups[1].Key != "a" {
+		t.Fatalf("groups out of insertion order: %+v", groups)
+	}
+	gb := ag.Group("b")
+	if gb.N != 2 {
+		t.Errorf("group b n = %d", gb.N)
+	}
+	if got := gb.Stat("x").Mean(); got != 2 {
+		t.Errorf("b.x mean = %g", got)
+	}
+	if got := gb.Stat("y").Std(); math.Abs(got-math.Sqrt(50)) > 1e-12 {
+		t.Errorf("b.y std = %g", got)
+	}
+	if metrics := gb.Metrics(); len(metrics) != 2 || metrics[0] != "x" || metrics[1] != "y" {
+		t.Errorf("metrics = %v", metrics)
+	}
+}
+
+func TestAggregateJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		ag := NewAggregate()
+		ag.Add("g", map[string]float64{"m1": 1, "m2": 2, "m3": 3})
+		ag.Add("g", map[string]float64{"m1": 2, "m2": 3, "m3": 4})
+		b, err := json.Marshal(ag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	if string(a) != string(b) {
+		t.Fatalf("aggregate JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"groups"`) || !strings.Contains(string(a), `"ci95"`) {
+		t.Errorf("unexpected shape: %s", a)
+	}
+}
+
+func TestAggregateRender(t *testing.T) {
+	ag := NewAggregate()
+	ag.Add("cfg", map[string]float64{"total_uj": 100})
+	ag.Add("cfg", map[string]float64{"total_uj": 200})
+	out := ag.Render()
+	if !strings.Contains(out, "cfg") || !strings.Contains(out, "total_uj") || !strings.Contains(out, "n=2") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}

@@ -38,6 +38,10 @@ type BounceConfig struct {
 	Channel      int
 	HoldTime     units.Ticks
 	UseDMA       bool
+	// Base, when set, seeds each node's mote options (voltage, kernel,
+	// logging mode) before the radio wiring is applied; nil selects
+	// mote.DefaultOptions.
+	Base *mote.Options
 }
 
 // DefaultBounceConfig matches the paper's setup: nodes 1 and 4.
@@ -61,6 +65,9 @@ func NewBounce(seed uint64, cfg BounceConfig) *Bounce {
 	ids := [2]core.NodeID{cfg.NodeA, cfg.NodeB}
 	for i, id := range ids {
 		opts := mote.DefaultOptions()
+		if cfg.Base != nil {
+			opts = *cfg.Base
+		}
 		opts.Radio = true
 		opts.RadioConfig = radio.Config{Channel: cfg.Channel, UseDMA: cfg.UseDMA}
 		b.Nodes[i] = w.AddNode(id, opts)

@@ -28,11 +28,15 @@ type DMACompare struct {
 }
 
 // NewDMACompare builds a two-node world (sender + receiver) and sends one
-// packet of payloadBytes at startAt.
-func NewDMACompare(seed uint64, useDMA bool, payloadBytes int, startAt units.Ticks) *DMACompare {
+// packet of payloadBytes at startAt. An optional base overrides each node's
+// mote options (voltage, logging mode) before the radio wiring.
+func NewDMACompare(seed uint64, useDMA bool, payloadBytes int, startAt units.Ticks, base ...mote.Options) *DMACompare {
 	w := mote.NewWorld(seed)
 	mkOpts := func() mote.Options {
 		o := mote.DefaultOptions()
+		if len(base) > 0 {
+			o = base[0]
+		}
 		o.Radio = true
 		o.RadioConfig = radio.Config{Channel: 26, UseDMA: useDMA}
 		return o

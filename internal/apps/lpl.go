@@ -47,6 +47,10 @@ type LPLConfig struct {
 	// ~17.9% channel occupancy matching the paper's 17.8% false-positive
 	// rate.
 	WiFiBurst, WiFiGap units.Ticks
+	// Base, when set, seeds the node's mote options (kernel, logging mode)
+	// before Volts and the radio wiring are applied; nil selects
+	// mote.DefaultOptions.
+	Base *mote.Options
 }
 
 // DefaultLPLConfig reproduces the paper's experiment on the given channel.
@@ -70,6 +74,9 @@ func NewLPL(seed uint64, cfg LPLConfig) *LPL {
 	}
 	w := mote.NewWorld(seed)
 	opts := mote.DefaultOptions()
+	if cfg.Base != nil {
+		opts = *cfg.Base
+	}
 	opts.Volts = cfg.Volts
 	opts.Radio = true
 	opts.RadioConfig = radio.Config{Channel: cfg.Channel}

@@ -1,0 +1,209 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mote"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// This file adapts every workload to the scenario registry: each builder
+// constructs the app from a declarative Spec, translating zero-valued spec
+// fields into the paper's defaults, so experiments, examples, and
+// `quanto-trace sweep` all define runs the same way.
+
+func init() {
+	scenario.Register("blink", buildBlink)
+	scenario.Register("bounce", buildBounce)
+	scenario.Register("lpl", buildLPL)
+	scenario.Register("relay", buildRelay)
+	scenario.Register("sensesend", buildSenseSend)
+	scenario.Register("timerbug", buildTimerBug)
+	scenario.Register("dma", buildDMACompare)
+}
+
+// baseOptions translates the spec's generic node knobs (voltage, kernel,
+// logging mode) for the apps that take a config-level base, so sweeping
+// e.g. continuous_drain or volts affects every workload, not just blink.
+func baseOptions(spec scenario.Spec) *mote.Options {
+	o := spec.MoteOptions()
+	return &o
+}
+
+func buildBlink(spec scenario.Spec) (*scenario.Instance, error) {
+	w := mote.NewWorld(spec.Seed)
+	n := w.AddNode(1, spec.MoteOptions())
+	b := NewBlink(n)
+	return &scenario.Instance{
+		World: w,
+		App:   b,
+		Metrics: func() map[string]float64 {
+			tg := b.Toggles()
+			return map[string]float64{
+				"toggles_red":   float64(tg[0]),
+				"toggles_green": float64(tg[1]),
+				"toggles_blue":  float64(tg[2]),
+			}
+		},
+	}, nil
+}
+
+func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
+	cfg := DefaultBounceConfig()
+	cfg.Base = baseOptions(spec)
+	if spec.Channel != 0 {
+		cfg.Channel = spec.Channel
+	}
+	if spec.HoldTimeUS > 0 {
+		cfg.HoldTime = units.Ticks(spec.HoldTimeUS)
+	}
+	cfg.UseDMA = spec.UseDMA
+	b := NewBounce(spec.Seed, cfg)
+	return &scenario.Instance{
+		World: b.World,
+		App:   b,
+		Metrics: func() map[string]float64 {
+			recv, sent := b.Stats()
+			return map[string]float64{
+				"rx_a": float64(recv[0]), "tx_a": float64(sent[0]),
+				"rx_b": float64(recv[1]), "tx_b": float64(sent[1]),
+			}
+		},
+	}, nil
+}
+
+func buildLPL(spec scenario.Spec) (*scenario.Instance, error) {
+	channel := spec.Channel
+	if channel == 0 {
+		channel = 26
+	}
+	cfg := DefaultLPLConfig(channel)
+	cfg.Base = baseOptions(spec)
+	if spec.Volts > 0 {
+		cfg.Volts = units.Volts(spec.Volts)
+	}
+	if spec.CheckPeriodUS > 0 {
+		cfg.CheckPeriod = units.Ticks(spec.CheckPeriodUS)
+	}
+	if spec.ReceiveCheckUS > 0 {
+		cfg.ReceiveCheck = units.Ticks(spec.ReceiveCheckUS)
+	}
+	if spec.FalsePositiveHoldUS > 0 {
+		cfg.FalsePositiveHold = units.Ticks(spec.FalsePositiveHoldUS)
+	}
+	if spec.NoWiFi {
+		cfg.WiFi = false
+	}
+	if spec.WiFiBurstUS > 0 {
+		cfg.WiFiBurst = units.Ticks(spec.WiFiBurstUS)
+	}
+	if spec.WiFiGapUS > 0 {
+		cfg.WiFiGap = units.Ticks(spec.WiFiGapUS)
+	}
+	l := NewLPL(spec.Seed, cfg)
+	return &scenario.Instance{
+		World: l.World,
+		App:   l,
+		Metrics: func() map[string]float64 {
+			wake, fps := l.Stats()
+			return map[string]float64{
+				"wakeups":         float64(wake),
+				"false_positives": float64(fps),
+				"fp_rate":         l.FalsePositiveRate(),
+			}
+		},
+	}, nil
+}
+
+func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
+	cfg := DefaultRelayConfig()
+	cfg.Base = baseOptions(spec)
+	if spec.Nodes != 0 {
+		if spec.Nodes < 2 {
+			return nil, fmt.Errorf("relay needs at least 2 nodes, got %d", spec.Nodes)
+		}
+		cfg.Hops = spec.Nodes
+	}
+	if spec.Channel != 0 {
+		cfg.Channel = spec.Channel
+	}
+	if spec.PeriodUS > 0 {
+		cfg.Period = units.Ticks(spec.PeriodUS)
+	}
+	r := NewRelay(spec.Seed, cfg)
+	return &scenario.Instance{
+		World: r.World,
+		App:   r,
+		Metrics: func() map[string]float64 {
+			gen, del := r.Stats()
+			return map[string]float64{
+				"generated": float64(gen),
+				"delivered": float64(del),
+			}
+		},
+	}, nil
+}
+
+func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
+	cfg := DefaultSenseSendConfig()
+	cfg.Base = baseOptions(spec)
+	if spec.Channel != 0 {
+		cfg.Channel = spec.Channel
+	}
+	if spec.PeriodUS > 0 {
+		cfg.Period = units.Ticks(spec.PeriodUS)
+	}
+	s := NewSenseSend(spec.Seed, cfg)
+	return &scenario.Instance{
+		World: s.World,
+		App:   s,
+		Metrics: func() map[string]float64 {
+			sent, received := s.Stats()
+			return map[string]float64{
+				"reports_sent":     float64(sent),
+				"reports_received": float64(received),
+				"sensor_reads":     float64(s.Sensor.Sensor.Reads()),
+			}
+		},
+	}, nil
+}
+
+func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
+	tb := NewTimerBug(spec.Seed, spec.CalibrateDCO, spec.MoteOptions())
+	return &scenario.Instance{
+		World: tb.World,
+		App:   tb,
+		Metrics: func() map[string]float64 {
+			return map[string]float64{
+				"calibration_hz": tb.CalibrationRate(),
+				"entries":        float64(len(tb.Node.Log.Entries)),
+			}
+		},
+	}, nil
+}
+
+func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
+	payload := spec.PayloadBytes
+	if payload <= 0 {
+		payload = 30
+	}
+	startAt := units.Ticks(spec.StartAtUS)
+	if startAt <= 0 {
+		startAt = 100 * units.Millisecond
+	}
+	d := NewDMACompare(spec.Seed, spec.UseDMA, payload, startAt, spec.MoteOptions())
+	return &scenario.Instance{
+		World: d.World,
+		App:   d,
+		Metrics: func() map[string]float64 {
+			start, end, ok := d.Timing()
+			m := map[string]float64{"completed": 0}
+			if ok {
+				m["completed"] = 1
+				m["send_ms"] = float64(end-start) / 1000
+			}
+			return m
+		},
+	}, nil
+}

@@ -36,6 +36,9 @@ type RelayConfig struct {
 	Hops    int // number of nodes in the line (>= 2)
 	Channel int
 	Period  units.Ticks // packet generation period at the origin
+	// Base, when set, seeds each node's mote options before the radio
+	// wiring is applied; nil selects mote.DefaultOptions.
+	Base *mote.Options
 }
 
 // DefaultRelayConfig builds a 3-hop line generating a packet per second.
@@ -56,6 +59,9 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 
 	for i := 0; i < cfg.Hops; i++ {
 		opts := mote.DefaultOptions()
+		if cfg.Base != nil {
+			opts = *cfg.Base
+		}
 		opts.Radio = true
 		opts.RadioConfig = radio.Config{Channel: cfg.Channel}
 		r.Nodes = append(r.Nodes, w.AddNode(core.NodeID(i+1), opts))

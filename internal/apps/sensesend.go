@@ -37,6 +37,9 @@ type SenseSendConfig struct {
 	SensorNode, BaseNode core.NodeID
 	Channel              int
 	Period               units.Ticks
+	// Base, when set, seeds each node's mote options before the radio
+	// wiring is applied; nil selects mote.DefaultOptions.
+	Base *mote.Options
 }
 
 // DefaultSenseSendConfig samples every 5 seconds.
@@ -54,6 +57,9 @@ func NewSenseSend(seed uint64, cfg SenseSendConfig) *SenseSend {
 
 	mkOpts := func() mote.Options {
 		o := mote.DefaultOptions()
+		if cfg.Base != nil {
+			o = *cfg.Base
+		}
 		o.Radio = true
 		o.RadioConfig = radio.Config{Channel: cfg.Channel}
 		return o

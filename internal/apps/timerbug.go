@@ -22,11 +22,17 @@ type TimerBug struct {
 
 // NewTimerBug builds a single-node world (node id 32, as in the figure)
 // running two LED activities. calibrate selects whether the DCO calibration
-// timer is left on (the buggy default) or disabled (the fix).
-func NewTimerBug(seed uint64, calibrate bool) *TimerBug {
+// timer is left on (the buggy default) or disabled (the fix). An optional
+// base overrides the node's mote options (voltage, logging mode).
+func NewTimerBug(seed uint64, calibrate bool, base ...mote.Options) *TimerBug {
 	w := mote.NewWorld(seed)
 	opts := mote.DefaultOptions()
-	opts.Kernel = kernel.DefaultOptions()
+	if len(base) > 0 {
+		opts = base[0]
+	}
+	if opts.Kernel == (kernel.Options{}) {
+		opts.Kernel = kernel.DefaultOptions()
+	}
 	opts.Kernel.CalibrateDCO = calibrate
 	n := w.AddNode(32, opts)
 

@@ -75,7 +75,10 @@ func (d *DrainSink) scheduleDrain() {
 	n := d.buf.Len()
 	cycles := uint32(n) * d.CostPerEntry
 	d.pump.ScheduleDrain(d.Label, cycles, func() {
-		RecordAll(d.out, d.buf.Drain())
+		// Drain exactly the n entries the charged cycles paid for; entries
+		// logged between scheduling and execution stay buffered for the
+		// next round, keeping the self-accounting exact.
+		RecordAll(d.out, d.buf.DrainN(n))
 		d.drained += uint64(n)
 		d.rounds++
 		d.draining = false

@@ -88,6 +88,19 @@ func (b *RAMBuffer) Drain() []Entry {
 	return out
 }
 
+// DrainN removes and returns the oldest n buffered entries (everything, if
+// fewer are buffered), modeling a bounded dump whose cost was budgeted
+// before later entries arrived.
+func (b *RAMBuffer) DrainN(n int) []Entry {
+	if n >= len(b.entries) {
+		return b.Drain()
+	}
+	out := make([]Entry, n)
+	copy(out, b.entries[:n])
+	b.entries = append(b.entries[:0], b.entries[n:]...)
+	return out
+}
+
 // Snapshot returns a copy of the buffered entries without draining.
 func (b *RAMBuffer) Snapshot() []Entry {
 	out := make([]Entry, len(b.entries))

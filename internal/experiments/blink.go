@@ -10,11 +10,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/mote"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
 // blinkResources are the rows of the Blink figures and tables.
 var blinkResources = []core.ResourceID{power.ResCPU, power.ResLED0, power.ResLED1, power.ResLED2}
+
+// blinkScenario is the paper's canonical 48 s Blink run as a declarative
+// scenario — the single definition every Blink-based exhibit shares.
+func blinkScenario(seed uint64) (*mote.World, *mote.Node, *apps.Blink, error) {
+	in, err := runScenario(scenario.Spec{App: "blink", Seed: seed, DurationUS: int64(48 * units.Second)})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	b := in.App.(*apps.Blink)
+	return in.World, b.Node, b, nil
+}
 
 // Figure11 reproduces the Blink activity/power profile: (a) the 48 s
 // activity timeline per hardware component with the measured power draw,
@@ -22,7 +34,10 @@ var blinkResources = []core.ResourceID{power.ResCPU, power.ResLED0, power.ResLED
 // (c) the stacked reconstruction compared against the oscilloscope.
 func Figure11(seed uint64) (*Report, error) {
 	r := newReport("fig11", "Blink activity and power profile (48 s run)")
-	w, n, _ := apps.RunBlink(seed, 48*units.Second, mote.DefaultOptions())
+	w, n, _, err := blinkScenario(seed)
+	if err != nil {
+		return nil, err
+	}
 	a, err := analyzeNode(w, n)
 	if err != nil {
 		return nil, err
@@ -97,7 +112,10 @@ func boolVal(b bool) float64 {
 // draws, (c) energy per hardware component, and (d) energy per activity.
 func Table3(seed uint64) (*Report, error) {
 	r := newReport("table3", "Blink time and energy breakdowns")
-	w, n, _ := apps.RunBlink(seed, 48*units.Second, mote.DefaultOptions())
+	w, n, _, err := blinkScenario(seed)
+	if err != nil {
+		return nil, err
+	}
 	a, err := analyzeNode(w, n)
 	if err != nil {
 		return nil, err

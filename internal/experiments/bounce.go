@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -19,8 +20,11 @@ import (
 // activity.
 func Figure12(seed uint64) (*Report, error) {
 	r := newReport("fig12", "Bounce: activities spanning nodes (node 1's view)")
-	b := apps.NewBounce(seed, apps.DefaultBounceConfig())
-	b.Run(4 * units.Second)
+	in, err := runScenario(scenario.Spec{App: "bounce", Seed: seed, DurationUS: int64(4 * units.Second)})
+	if err != nil {
+		return nil, err
+	}
+	b := in.App.(*apps.Bounce)
 	w := b.World
 	n := b.Nodes[0]
 	a, err := analyzeNode(w, n)

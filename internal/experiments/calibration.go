@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
-	"repro/internal/apps"
 	"repro/internal/linalg"
 	"repro/internal/mote"
 	"repro/internal/power"
@@ -25,7 +24,10 @@ type comboStat struct {
 // per LED combination, the time spent, the iCount pulses, and the
 // oscilloscope's measured mean current.
 func blinkSteadyStates(seed uint64) (*mote.World, *mote.Node, *analysis.Analysis, map[int]*comboStat, error) {
-	w, n, _ := apps.RunBlink(seed, 48*units.Second, mote.DefaultOptions())
+	w, n, _, err := blinkScenario(seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	a, err := analyzeNode(w, n)
 	if err != nil {
 		return nil, nil, nil, nil, err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -17,8 +18,22 @@ import (
 // serial communication.
 func Figure15(seed uint64) (*Report, error) {
 	r := newReport("fig15", "Unexpected 16 Hz TimerA1 oscillator-calibration interrupt")
-	tb := apps.NewTimerBug(seed, true)
-	tb.Run(3 * units.Second)
+	timerBug := func(calibrate bool) (*apps.TimerBug, error) {
+		in, err := runScenario(scenario.Spec{
+			App:          "timerbug",
+			Seed:         seed,
+			CalibrateDCO: calibrate,
+			DurationUS:   int64(3 * units.Second),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return in.App.(*apps.TimerBug), nil
+	}
+	tb, err := timerBug(true)
+	if err != nil {
+		return nil, err
+	}
 	a, err := analyzeNode(tb.World, tb.Node)
 	if err != nil {
 		return nil, err
@@ -34,8 +49,10 @@ func Figure15(seed uint64) (*Report, error) {
 	fmt.Fprintf(&sb, "\nMeasured TimerA1 firing rate: %.2f Hz (paper: 16 Hz)\n", rate)
 
 	// The fixed configuration for contrast.
-	fixed := apps.NewTimerBug(seed, false)
-	fixed.Run(3 * units.Second)
+	fixed, err := timerBug(false)
+	if err != nil {
+		return nil, err
+	}
 	fmt.Fprintf(&sb, "With calibration disabled: %.2f Hz\n", fixed.CalibrationRate())
 	fmt.Fprintf(&sb, "Log entries: %d (buggy) vs %d (fixed)\n",
 		len(tb.Node.Log.Entries), len(fixed.Node.Log.Entries))
@@ -57,8 +74,18 @@ func Figure16(seed uint64) (*Report, error) {
 	startAt := 100 * units.Millisecond
 
 	run := func(useDMA bool) (*apps.DMACompare, *analysis.Analysis, units.Ticks, error) {
-		d := apps.NewDMACompare(seed, useDMA, payload, startAt)
-		d.Run(400 * units.Millisecond)
+		in, err := runScenario(scenario.Spec{
+			App:          "dma",
+			Seed:         seed,
+			UseDMA:       useDMA,
+			PayloadBytes: payload,
+			StartAtUS:    int64(startAt),
+			DurationUS:   int64(400 * units.Millisecond),
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		d := in.App.(*apps.DMACompare)
 		start, done, ok := d.Timing()
 		if !ok {
 			return nil, nil, 0, fmt.Errorf("send (useDMA=%v) did not complete", useDMA)

@@ -8,11 +8,8 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
-	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/mote"
 	"repro/internal/power"
-	"repro/internal/units"
 )
 
 // Table4 reproduces the logging-cost table: the per-sample cost breakdown
@@ -22,7 +19,10 @@ import (
 // 71.05% of active CPU time but 0.12% of total time, 0.41 mJ).
 func Table4(seed uint64) (*Report, error) {
 	r := newReport("table4", "Costs of logging")
-	w, n, _ := apps.RunBlink(seed, 48*units.Second, mote.DefaultOptions())
+	w, n, _, err := blinkScenario(seed)
+	if err != nil {
+		return nil, err
+	}
 	a, err := analyzeNode(w, n)
 	if err != nil {
 		return nil, err

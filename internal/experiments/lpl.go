@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -18,10 +19,19 @@ const (
 )
 
 // lplRun executes the LPL workload on one channel for the full collection
-// window and returns the app plus its analysis.
+// window — a declarative scenario over the registry — and returns the app
+// plus its analysis.
 func lplRun(seed uint64, channel int) (*apps.LPL, *analysis.Analysis, error) {
-	l := apps.NewLPL(seed, apps.DefaultLPLConfig(channel))
-	l.Run(lplPeriods * lplPeriodSecs * units.Second)
+	in, err := runScenario(scenario.Spec{
+		App:        "lpl",
+		Seed:       seed,
+		Channel:    channel,
+		DurationUS: int64(lplPeriods * lplPeriodSecs * units.Second),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	l := in.App.(*apps.LPL)
 	a, err := analyzeNode(l.World, l.Node)
 	if err != nil {
 		return nil, nil, err

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/analysis"
 	"repro/internal/apps"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -17,25 +17,15 @@ import (
 // generalizes unchanged.
 func NetworkFootprint(seed uint64) (*Report, error) {
 	r := newReport("network", "Network-wide footprint of one activity (4-hop relay)")
-	cfg := apps.DefaultRelayConfig()
-	cfg.Hops = 4
-	relay := apps.NewRelay(seed, cfg)
-	relay.Run(20 * units.Second)
-
-	// Merge every node's log into one time-ordered stream and demux it
-	// through per-node streaming analyzers in a single pass.
-	na := analysis.NewNetworkAnalyzer(relay.World.Dict, analysis.DefaultOptions(), 0, 0)
-	for _, n := range relay.Nodes {
-		na.AddNode(n.ID, n.Meter.PulseEnergy(), n.Volts)
-	}
-	merged, err := relay.World.Merged()
+	in, err := runScenario(scenario.Spec{App: "relay", Seed: seed, Nodes: 4, DurationUS: int64(20 * units.Second)})
 	if err != nil {
 		return nil, err
 	}
-	if err := na.ConsumeAll(merged); err != nil {
-		return nil, err
-	}
-	net, err := na.Finish()
+	relay := in.App.(*apps.Relay)
+
+	// Merge every node's log into one time-ordered stream and demux it
+	// through per-node streaming analyzers in a single pass.
+	net, err := in.Network()
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/mote"
+	"repro/internal/scenario"
 )
 
 // Report is the uniform output of an experiment harness.
@@ -50,6 +51,19 @@ func (r *Report) String() string {
 // newReport allocates a report.
 func newReport(id, title string) *Report {
 	return &Report{ID: id, Title: title, Values: make(map[string]float64)}
+}
+
+// runScenario builds one declarative spec through the app registry, runs it
+// to completion, and returns the instance for analysis. Every experiment
+// harness defines its workload this way, so the same configurations are
+// sweepable from `quanto-trace sweep` without touching harness code.
+func runScenario(spec scenario.Spec) (*scenario.Instance, error) {
+	in, err := scenario.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	in.Run()
+	return in, nil
 }
 
 // analyzeNode runs the default analysis pipeline on one node's log via the

@@ -22,7 +22,9 @@ import (
 	"repro/internal/units"
 )
 
-// Options configures one node.
+// Options configures one node. Declarative runs build these from a
+// scenario.Spec (internal/scenario), which exposes the same knobs —
+// voltage, kernel options, logging mode — as sweepable JSON fields.
 type Options struct {
 	// Volts is the supply voltage (3.0 V by default; the paper's LPL mote
 	// ran from a 3.35 V regulator).
@@ -52,8 +54,8 @@ type Options struct {
 	// DrainCostPerEntry is the CPU cost of pushing one entry over the back
 	// channel in continuous mode (default 120 cycles).
 	DrainCostPerEntry uint32
-	// ExtraSinks are fanned the live event stream alongside the collector
-	// (and RAM buffer / drain, if configured) via a batch-aware Tee — how an
+	// ExtraSinks receive the live event stream alongside the collector (and
+	// RAM buffer / drain, if configured) via a batch-aware Tee — how an
 	// analysis.OnlineAccountant or a core.RingBuffer rides the same stream
 	// as the log without extra copies.
 	ExtraSinks []core.Sink

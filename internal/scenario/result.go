@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// NodeResult is one node's share of a run.
+type NodeResult struct {
+	Node       int     `json:"node"`
+	Entries    int     `json:"entries"`
+	SpanUS     int64   `json:"span_us"`
+	EnergyUJ   float64 `json:"energy_uj"`
+	AvgPowerMW float64 `json:"avg_power_mw"`
+}
+
+// Result is the compact, JSON-stable output of one run: enough to aggregate
+// across seeds and compare across configurations without carrying the trace.
+// Map keys serialize sorted (encoding/json), so a Result's bytes depend only
+// on the run's content — the property the worker-count invariance tests pin.
+type Result struct {
+	Spec Spec `json:"spec"`
+	// Run is the run's index in the expanded matrix.
+	Run int `json:"run"`
+	// Entries counts log entries across all nodes; SpanUS is the merged
+	// trace's time span.
+	Entries int   `json:"entries"`
+	SpanUS  int64 `json:"span_us"`
+	// TotalUJ is measured energy summed over nodes; AvgPowerMW is the
+	// network-wide average power over the span.
+	TotalUJ    float64 `json:"total_uj"`
+	AvgPowerMW float64 `json:"avg_power_mw"`
+	// ActivityUJ breaks the energy down per activity (dictionary names,
+	// "Const." for the unattributable constant term) — the paper's
+	// Table 3(d) rows, network-wide.
+	ActivityUJ map[string]float64 `json:"activity_uj,omitempty"`
+	// Nodes holds the per-node breakdown, ordered by node id.
+	Nodes []NodeResult `json:"nodes,omitempty"`
+	// Metrics carries the app's own counters (false-positive rate, packets
+	// delivered, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Error is set when the run failed; the other fields are then partial.
+	Error string `json:"error,omitempty"`
+}
+
+// Values flattens the result's numeric content for cross-run aggregation.
+func (r *Result) Values() map[string]float64 {
+	v := map[string]float64{
+		"total_uj":     r.TotalUJ,
+		"avg_power_mw": r.AvgPowerMW,
+		"span_us":      float64(r.SpanUS),
+		"entries":      float64(r.Entries),
+	}
+	for name, uj := range r.ActivityUJ {
+		v["act_uj:"+name] = uj
+	}
+	for name, x := range r.Metrics {
+		v["metric:"+name] = x
+	}
+	return v
+}
+
+// Finish analyzes a completed run: the per-node logs k-way merge into one
+// time-ordered stream that the streaming NetworkAnalyzer demultiplexes in a
+// single pass, exactly the PR-1 pipeline a real deployment's back channel
+// would feed.
+func (in *Instance) Finish() (*Result, error) {
+	net, err := in.Network()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Spec: in.Spec}
+	byName := make(map[string]float64)
+	for l, uj := range net.EnergyByActivity() {
+		name := "Const."
+		if l != analysis.ConstLabel {
+			name = net.Dict.LabelName(l)
+		}
+		byName[name] += uj
+	}
+	r.ActivityUJ = byName
+	r.TotalUJ = net.TotalEnergyUJ()
+
+	ids := make([]int, 0, len(net.Nodes))
+	for id := range net.Nodes {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a := net.Nodes[core.NodeID(id)]
+		n := in.World.Node(core.NodeID(id))
+		entries := 0
+		if n != nil {
+			entries = len(n.Log.Entries)
+		}
+		r.Entries += entries
+		if a.Span() > r.SpanUS {
+			r.SpanUS = a.Span()
+		}
+		r.Nodes = append(r.Nodes, NodeResult{
+			Node:       id,
+			Entries:    entries,
+			SpanUS:     a.Span(),
+			EnergyUJ:   a.TotalEnergyUJ(),
+			AvgPowerMW: a.AveragePowerMW(),
+		})
+	}
+	if r.SpanUS > 0 {
+		r.AvgPowerMW = r.TotalUJ / float64(r.SpanUS) * 1000
+	}
+	if in.Metrics != nil {
+		r.Metrics = in.Metrics()
+	}
+	return r, nil
+}
+
+// Network runs the full streaming analysis and returns the per-node and
+// network-wide view, for callers that need more than the compact Result
+// (timelines, regressions, footprints). The analysis is computed once per
+// instance; call it only after Run.
+func (in *Instance) Network() (*analysis.Network, error) {
+	if in.net != nil {
+		return in.net, nil
+	}
+	na := analysis.NewNetworkAnalyzer(in.World.Dict, analysis.DefaultOptions(), 0, 0)
+	for _, n := range in.World.Nodes {
+		na.AddNode(n.ID, n.Meter.PulseEnergy(), n.Volts)
+	}
+	merged, err := in.World.Merged()
+	if err != nil {
+		return nil, err
+	}
+	if err := na.ConsumeAll(merged); err != nil {
+		return nil, err
+	}
+	net, err := na.Finish()
+	if err != nil {
+		return nil, err
+	}
+	in.net = net
+	return net, nil
+}
+
+// RunSpec builds, runs, and analyzes one spec. Failures (including panics in
+// app code) are captured in the Result rather than aborting a sweep.
+func RunSpec(spec Spec) (res *Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = &Result{Spec: spec, Error: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	in, err := Build(spec)
+	if err != nil {
+		return &Result{Spec: spec, Error: err.Error()}
+	}
+	in.Run()
+	r, err := in.Finish()
+	if err != nil {
+		return &Result{Spec: spec, Error: err.Error()}
+	}
+	return r
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// Runner executes an expanded spec list concurrently. Every run is fully
+// isolated — its own simulator, world, dictionary, and analyzers — and its
+// seed was fixed at expansion time, so the worker count and completion order
+// affect wall-clock time only, never a single byte of output.
+type Runner struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// OnResult, when set, is invoked once per run *in matrix order* (an
+	// in-order gate holds back runs that finish ahead of their
+	// predecessors). This is what lets `quanto-trace sweep` stream
+	// JSON-lines output that is byte-identical for any -workers value.
+	OnResult func(*Result)
+}
+
+// Run executes every spec and returns the results indexed like the input.
+// Individual run failures are reported inside the Result (Error field); Run
+// itself only fails on harness-level misuse.
+func (rn *Runner) Run(specs []Spec) []*Result {
+	results := make([]*Result, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	workers := rn.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	jobs := make(chan int)
+	done := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := RunSpec(specs[i])
+				r.Run = i
+				results[i] = r
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range specs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(done)
+	}()
+
+	// In-order emission gate: deliver results to OnResult in matrix order
+	// no matter which worker finishes first.
+	next := 0
+	ready := make(map[int]bool)
+	for i := range done {
+		ready[i] = true
+		for ready[next] {
+			delete(ready, next)
+			if rn.OnResult != nil {
+				rn.OnResult(results[next])
+			}
+			next++
+		}
+	}
+	return results
+}
+
+// Aggregate folds a result list into per-configuration statistics: runs
+// sharing a ConfigKey (replicas across seeds) are one group, and every
+// numeric output — total energy, average power, per-activity energy, app
+// metrics — gets a mean/stddev/CI across the group. Failed runs are skipped;
+// the caller sees them in the result list.
+func Aggregate(results []*Result) *analysis.Aggregate {
+	ag := analysis.NewAggregate()
+	for _, r := range results {
+		if r == nil || r.Error != "" {
+			continue
+		}
+		ag.Add(r.Spec.ConfigKey(), r.Values())
+	}
+	return ag
+}

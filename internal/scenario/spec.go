@@ -1,0 +1,310 @@
+// Package scenario makes whole experiments declarative: a Spec describes one
+// simulated run (which app, how many nodes, which radio/kernel/logging knobs,
+// how long, which seed), a Matrix sweeps any Spec field over a list of values
+// and replicates each configuration across seeds, and a Runner executes the
+// expanded matrix concurrently over a worker pool — one isolated
+// sim.Simulator/mote.World per run — feeding every merged trace through the
+// streaming NetworkAnalyzer into a compact Result.
+//
+// Determinism is the package's core contract: per-run seeds are derived by
+// hashing the base seed with the run's canonical configuration (not its
+// position in the matrix), so results are byte-identical regardless of worker
+// count, completion order, or how the sweep lists were ordered when the
+// matrix was written.
+//
+// Apps register constructors into the package registry (internal/apps does
+// this for the paper's workloads; out-of-tree binaries can register their
+// own), which is how `quanto-trace sweep` can run any workload from a JSON
+// file without compiling new code.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/mote"
+	"repro/internal/units"
+)
+
+// Spec declares one run. The zero value of every optional field means "the
+// app's default" (matching the paper's setup for that workload), so a minimal
+// spec is just {"app": "blink", "duration_us": 48000000}. All durations are
+// simulated microseconds, which is also the simulator's tick unit.
+type Spec struct {
+	// Name is a cosmetic tag carried into results; it does not affect seed
+	// derivation or grouping.
+	Name string `json:"name,omitempty"`
+	// App selects the registered constructor ("blink", "bounce", "lpl",
+	// "relay", "sensesend", "timerbug", "dma", ...). See Apps().
+	App string `json:"app"`
+	// Seed drives every stochastic element of the run. In a Matrix this is
+	// the base seed that per-run seeds are derived from.
+	Seed uint64 `json:"seed,omitempty"`
+	// DurationUS is the simulated run length in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Nodes sizes the topology for apps with a variable node count (the
+	// relay line's hop count). 0 selects the app default.
+	Nodes int `json:"nodes,omitempty"`
+	// Channel is the 802.15.4 channel for radio apps (17 overlaps 802.11b
+	// channel 6; 26 is clear). 0 selects the app default.
+	Channel int `json:"channel,omitempty"`
+	// Volts overrides the supply voltage (default 3.0 V; the paper's LPL
+	// mote ran at 3.35 V).
+	Volts float64 `json:"volts,omitempty"`
+
+	// CalibrateDCO enables the 16 Hz digital-oscillator calibration
+	// interrupt, the TinyOS default the TimerBug case study exposes.
+	CalibrateDCO bool `json:"calibrate_dco,omitempty"`
+	// UseDMA selects DMA-based CPU-radio bus transfers instead of the
+	// interrupt-per-2-bytes default (the Figure 16 comparison).
+	UseDMA bool `json:"use_dma,omitempty"`
+	// RAMBufferEntries routes the log through a fixed mote-style RAM buffer
+	// of that many entries, so buffer-full behaviour can be observed.
+	RAMBufferEntries int `json:"ram_buffer_entries,omitempty"`
+	// ContinuousDrain selects the paper's streaming logging mode: entries
+	// buffer in RAM and a low-priority task drains them under a
+	// self-accounting "Quanto" activity (Section 4.4).
+	ContinuousDrain bool `json:"continuous_drain,omitempty"`
+
+	// PeriodUS is the app's generation/sampling period (relay packet
+	// generation, sense-and-send sampling). 0 selects the app default.
+	PeriodUS int64 `json:"period_us,omitempty"`
+	// HoldTimeUS is how long a Bounce node keeps a packet before sending it
+	// back. 0 selects the paper's 220 ms.
+	HoldTimeUS int64 `json:"hold_time_us,omitempty"`
+	// PayloadBytes sizes the DMA comparison's packet payload.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+	// StartAtUS is when the DMA comparison fires its single send.
+	StartAtUS int64 `json:"start_at_us,omitempty"`
+
+	// CheckPeriodUS is the LPL sleep interval between channel checks
+	// (paper: 500 ms).
+	CheckPeriodUS int64 `json:"check_period_us,omitempty"`
+	// ReceiveCheckUS is how long the LPL receiver stays on during a clean
+	// check.
+	ReceiveCheckUS int64 `json:"receive_check_us,omitempty"`
+	// FalsePositiveHoldUS is how long the LPL receiver is held on after
+	// detecting energy (paper: ~100 ms).
+	FalsePositiveHoldUS int64 `json:"false_positive_hold_us,omitempty"`
+	// NoWiFi disables the interfering 802.11b access point that the LPL
+	// study runs against by default.
+	NoWiFi bool `json:"no_wifi,omitempty"`
+	// WiFiBurstUS / WiFiGapUS shape the interferer's traffic; the defaults
+	// give ~17.9% channel occupancy, matching the paper's 17.8%
+	// false-positive rate.
+	WiFiBurstUS int64 `json:"wifi_burst_us,omitempty"`
+	WiFiGapUS   int64 `json:"wifi_gap_us,omitempty"`
+}
+
+// Duration returns the run length as simulator ticks.
+func (s *Spec) Duration() units.Ticks { return units.Ticks(s.DurationUS) }
+
+// MoteOptions translates the spec's generic node knobs into mote options,
+// starting from the standard single-node configuration.
+func (s *Spec) MoteOptions() mote.Options {
+	o := mote.DefaultOptions()
+	if s.Volts > 0 {
+		o.Volts = units.Volts(s.Volts)
+	}
+	if s.CalibrateDCO {
+		o.Kernel.CalibrateDCO = true
+	}
+	o.RAMBufferEntries = s.RAMBufferEntries
+	o.ContinuousDrain = s.ContinuousDrain
+	return o
+}
+
+// Validate checks the fields every app needs; app-specific constraints live
+// in the registered builders.
+func (s *Spec) Validate() error {
+	if s.App == "" {
+		return fmt.Errorf("scenario: spec has no app")
+	}
+	if s.DurationUS <= 0 {
+		return fmt.Errorf("scenario: spec %q has no positive duration_us", s.App)
+	}
+	return nil
+}
+
+// ConfigKey returns the canonical configuration string of a spec: its JSON
+// encoding with the seed and cosmetic name cleared. Two runs with the same
+// ConfigKey are replicas of the same configuration under different seeds;
+// the key is what seed derivation hashes and what Aggregate groups by.
+func (s *Spec) ConfigKey() string {
+	c := *s
+	c.Seed = 0
+	c.Name = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// Spec is a plain struct of scalars; this cannot fail.
+		panic(fmt.Sprintf("scenario: marshal spec: %v", err))
+	}
+	return string(b)
+}
+
+// splitmix64 is the finalizing mixer of the splitmix64 generator; it turns
+// structured inputs (hashes, indexes) into well-distributed seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed computes the seed of replica seedIndex of the configuration
+// identified by configKey, under the matrix base seed. Because the
+// derivation hashes the configuration content rather than the run's matrix
+// position, the seed is stable when sweep lists are reordered or fields are
+// added to the sweep, and replicas of different configurations never share a
+// seed stream.
+func DeriveSeed(base uint64, configKey string, seedIndex int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(configKey))
+	return splitmix64(base ^ splitmix64(h.Sum64()^uint64(seedIndex)))
+}
+
+// Matrix is the declarative form of a parameter sweep: a base spec, a set of
+// fields to sweep over value lists, and a replica count across derived
+// seeds. Its JSON form is what `quanto-trace sweep` reads:
+//
+//	{
+//	  "base":  {"app": "lpl", "duration_us": 14000000, "seed": 1},
+//	  "sweep": {"channel": [17, 26], "check_period_us": [250000, 500000]},
+//	  "seeds": 8
+//	}
+type Matrix struct {
+	Base Spec `json:"base"`
+	// Sweep maps a spec JSON field name to the list of values to expand
+	// over. Sweeping "seed" directly is allowed (the listed seeds become
+	// replicas of one configuration) but is mutually exclusive with Seeds.
+	Sweep map[string][]any `json:"sweep,omitempty"`
+	// Seeds > 0 replicates every configuration that many times under
+	// derived seeds; 0 runs each configuration once with the base seed.
+	Seeds int `json:"seeds,omitempty"`
+}
+
+// Expand produces the full run list: the cross product of every sweep list
+// (fields in sorted-name order, the last field varying fastest), replicated
+// across seeds (innermost). Every returned spec carries its final derived
+// seed, so execution order cannot affect any run's randomness.
+func (m *Matrix) Expand() ([]Spec, error) {
+	keys := make([]string, 0, len(m.Sweep))
+	for k := range m.Sweep {
+		if len(m.Sweep[k]) == 0 {
+			return nil, fmt.Errorf("scenario: sweep field %q has no values", k)
+		}
+		if (k == "seed" || k == "name") && m.Seeds > 0 {
+			// Seed derivation hashes the configuration with seed and name
+			// cleared, so sweeping either field under Seeds replication
+			// would run byte-identical duplicates that the aggregate counts
+			// as independent samples.
+			return nil, fmt.Errorf(`scenario: sweeping %q and setting seeds (%d) are mutually exclusive`, k, m.Seeds)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	configs := []Spec{m.Base}
+	for _, k := range keys {
+		next := make([]Spec, 0, len(configs)*len(m.Sweep[k]))
+		for _, base := range configs {
+			for _, v := range m.Sweep[k] {
+				sp, err := override(&base, k, v)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, *sp)
+			}
+		}
+		configs = next
+	}
+
+	seeds := m.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	out := make([]Spec, 0, len(configs)*seeds)
+	for _, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		key := cfg.ConfigKey()
+		for si := 0; si < seeds; si++ {
+			sp := cfg
+			if m.Seeds > 0 {
+				sp.Seed = DeriveSeed(m.Base.Seed, key, si)
+			}
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}
+
+// override returns a copy of spec with the JSON field named field set to v.
+// The spec round-trips through map[string]json.RawMessage — untouched fields
+// keep their exact wire form (a uint64 seed never passes through float64) —
+// so any (current or future) spec field can be swept by its wire name, and
+// unknown field names fail loudly instead of silently running the default.
+func override(spec *Spec, field string, v any) (*Spec, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	vb, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: sweep field %q: %w", field, err)
+	}
+	m[field] = vb
+
+	raw, err = json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	var out Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("scenario: sweep field %q: %w", field, err)
+	}
+	return &out, nil
+}
+
+// ParseSpecOrMatrix reads a JSON document that is either a single Spec or a
+// Matrix (recognized by its "base" key) and returns the expanded run list
+// either way.
+func ParseSpecOrMatrix(data []byte) ([]Spec, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec file: %w", err)
+	}
+	if _, isMatrix := probe["base"]; isMatrix {
+		var m Matrix
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		// Sweep lists land in []any; UseNumber keeps their literals exact
+		// (json.Number re-marshals verbatim) instead of routing big integer
+		// seeds through float64.
+		dec.UseNumber()
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("scenario: parse matrix: %w", err)
+		}
+		return m.Expand()
+	}
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return []Spec{s}, nil
+}

@@ -122,6 +122,12 @@ func NewMerger(streams []Stream) (*Merger, error) {
 // goroutine, buffers) that must be released when the merge abandons them.
 type sourceCloser interface{ Close() }
 
+// Close releases every source that holds resources (decode goroutines,
+// buffers). Next calls it automatically at EOF or on error; a consumer that
+// abandons the merge early — stops before draining — must call it itself or
+// leak one blocked decode goroutine per concurrent stream.
+func (m *Merger) Close() { m.closeAll() }
+
 // closeAll releases every closable source. Called when the merge ends —
 // normally or on error — so abandoned concurrent decoders shut down instead
 // of blocking forever.

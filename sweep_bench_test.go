@@ -1,0 +1,75 @@
+// Benchmarks for the scenario sweep runner: how fast a parameter matrix
+// executes as the worker pool widens. Each iteration runs the full matrix —
+// build world, simulate, stream-analyze, aggregate — so ns/run is the
+// end-to-end cost of one configuration replica.
+//
+// The CI bench step runs these with -benchtime=1x; the per-sub-benchmark
+// runs/sec and ns/run metrics are the machine-readable sweep-throughput
+// numbers (workers=N sub-benchmarks stand in for GOMAXPROCS scaling).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// benchLPLMatrix is the acceptance matrix: three swept fields x 8 derived
+// seeds of the LPL interference study (2x2x2 configurations, 64 runs).
+func benchLPLMatrix() scenario.Matrix {
+	return scenario.Matrix{
+		Base: scenario.Spec{
+			App:        "lpl",
+			Seed:       1,
+			DurationUS: int64(2 * units.Second),
+		},
+		Sweep: map[string][]any{
+			"channel":         {17, 26},
+			"check_period_us": {250000, 500000},
+			"wifi_gap_us":     {10000, 23000},
+		},
+		Seeds: 8,
+	}
+}
+
+// BenchmarkSweepThroughput measures the same matrix under widening worker
+// pools. Near-linear scaling to 4 workers is the PR's acceptance bar; the
+// runs/sec metric makes regressions visible in plain bench output.
+func BenchmarkSweepThroughput(b *testing.B) {
+	matrix := benchLPLMatrix()
+	specs, err := matrix.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rn := &scenario.Runner{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := rn.Run(specs)
+				for _, r := range results {
+					if r.Error != "" {
+						b.Fatalf("run %d: %s", r.Run, r.Error)
+					}
+				}
+			}
+			nsPerRun := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(specs))
+			b.ReportMetric(nsPerRun, "ns/run")
+			b.ReportMetric(1e9/nsPerRun, "runs/sec")
+		})
+	}
+}
+
+// BenchmarkSweepSingleRun isolates one configuration end to end, the unit
+// the pool amortizes.
+func BenchmarkSweepSingleRun(b *testing.B) {
+	spec := benchLPLMatrix().Base
+	spec.Channel = 17
+	for i := 0; i < b.N; i++ {
+		if r := scenario.RunSpec(spec); r.Error != "" {
+			b.Fatal(r.Error)
+		}
+	}
+}
