@@ -9,6 +9,7 @@
 //	quanto-trace analyze FILE                    regression + energy totals
 //	quanto-trace merge OUT FILE...               k-way merge node logs by time
 //	quanto-trace sweep [-workers N] FILE         run a scenario spec or matrix
+//	quanto-trace lifetime [-workers N] [-json] FILE   lifetime study of a spec or matrix
 //
 // FILE and OUT may be "-" for stdin/stdout, so logs pipe between tools.
 //
@@ -23,6 +24,22 @@
 //	  quanto-trace sweep -workers 4 -
 //
 // Use -apps to list the registered workloads.
+//
+// lifetime answers the question Quanto's accounting alone cannot: "how long
+// does this node live on this budget?" It runs the same expanded matrix as
+// sweep — the spec must give at least one node a finite battery
+// (battery_uah / battery_node_uah, optionally harvest and death_policy) —
+// and folds every run into a per-configuration, per-node table of death
+// rate, mean time-to-death with a CI95 half-width across seeds, and mean
+// remaining energy margin. -json emits the same report as one JSON document
+// instead of the table. Output is byte-identical for any -workers value:
+//
+//	echo '{"base": {"app": "lpl", "duration_us": 30000000, "seed": 1,
+//	       "channel": 17},
+//	       "sweep": {"battery_uah": [4, 8],
+//	                 "check_period_us": [250000, 500000]}, "seeds": 8}' |
+//	  quanto-trace lifetime -workers 4 -
+//
 // Every subcommand streams through the batched decoder: a trace is processed
 // in fixed-size chunks and never fully materialized, so multi-gigabyte logs
 // use constant memory. The binary format is exactly what a real mote would
@@ -57,8 +74,9 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "simulation seed (gen)")
 	secs := fs.Int("secs", 48, "run length in seconds (gen)")
-	workers := fs.Int("workers", 0, "worker pool size, 0 = GOMAXPROCS (sweep)")
+	workers := fs.Int("workers", 0, "worker pool size, 0 = GOMAXPROCS (sweep, lifetime)")
 	listApps := fs.Bool("apps", false, "list registered scenario apps and exit (sweep)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of a table (lifetime)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -92,6 +110,11 @@ func main() {
 			usage()
 		}
 		err = sweep(fs.Arg(0), *workers)
+	case "lifetime":
+		if fs.NArg() != 1 {
+			usage()
+		}
+		err = lifetime(fs.Arg(0), *workers, *jsonOut)
 	default:
 		usage()
 	}
@@ -105,6 +128,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
        quanto-trace merge OUT FILE...
        quanto-trace sweep [-workers N] [-apps] FILE
+       quanto-trace lifetime [-workers N] [-json] FILE
 FILE/OUT may be "-" for stdin/stdout`)
 	os.Exit(2)
 }
@@ -357,6 +381,63 @@ func sweep(name string, workers int) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d runs failed (see their error fields)", failed, len(specs))
+	}
+	return nil
+}
+
+// lifetime expands a spec or matrix file (which must give at least one node
+// a finite battery), runs it over a worker pool, and reports per-node
+// lifetimes: death rate, mean time-to-death with CI95 across seeds, and mean
+// energy margin, per swept configuration. The per-run results stream to
+// stderr-free stdout only in -json mode; the default output is the rendered
+// table. Either form depends only on the matrix content, never the worker
+// count.
+func lifetime(name string, workers int, jsonOut bool) error {
+	in, err := openIn(name)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(in)
+	in.Close()
+	if err != nil {
+		return err
+	}
+	specs, err := scenario.ParseSpecOrMatrix(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lifetime: %d runs\n", len(specs))
+	results := (&scenario.Runner{Workers: workers}).Run(specs)
+	failed := 0
+	for _, r := range results {
+		if r != nil && r.Error != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "lifetime: run %d failed: %s\n", r.Run, r.Error)
+		}
+	}
+	report := scenario.Lifetimes(results)
+	if report.Empty() {
+		// Failed runs contribute nothing to the report; don't misdiagnose
+		// an all-failed sweep as a missing battery.
+		if failed > 0 {
+			return fmt.Errorf("%d of %d runs failed", failed, len(results))
+		}
+		return fmt.Errorf("no node has a finite battery; set battery_uah or battery_node_uah in the spec")
+	}
+	w := bufio.NewWriterSize(os.Stdout, 1<<16)
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else if _, err := io.WriteString(w, report.Render()); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs failed", failed, len(results))
 	}
 	return nil
 }

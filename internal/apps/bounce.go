@@ -42,6 +42,9 @@ type BounceConfig struct {
 	// logging mode) before the radio wiring is applied; nil selects
 	// mote.DefaultOptions.
 	Base *mote.Options
+	// PerNode, when set, adjusts each node's options after Base is copied
+	// (called with NodeA's and NodeB's ids).
+	PerNode func(id core.NodeID, o *mote.Options)
 }
 
 // DefaultBounceConfig matches the paper's setup: nodes 1 and 4.
@@ -67,6 +70,9 @@ func NewBounce(seed uint64, cfg BounceConfig) *Bounce {
 		opts := mote.DefaultOptions()
 		if cfg.Base != nil {
 			opts = *cfg.Base
+		}
+		if cfg.PerNode != nil {
+			cfg.PerNode(id, &opts)
 		}
 		opts.Radio = true
 		opts.RadioConfig = radio.Config{Channel: cfg.Channel, UseDMA: cfg.UseDMA}

@@ -28,22 +28,27 @@ type DMACompare struct {
 }
 
 // NewDMACompare builds a two-node world (sender + receiver) and sends one
-// packet of payloadBytes at startAt. An optional base overrides each node's
-// mote options (voltage, logging mode) before the radio wiring.
+// packet of payloadBytes at startAt. Optional base options override the mote
+// defaults (voltage, logging mode, battery) before the radio wiring: one
+// value applies to both nodes, two values configure the sender (node 1) and
+// receiver (node 2) individually.
 func NewDMACompare(seed uint64, useDMA bool, payloadBytes int, startAt units.Ticks, base ...mote.Options) *DMACompare {
 	w := mote.NewWorld(seed)
-	mkOpts := func() mote.Options {
+	mkOpts := func(idx int) mote.Options {
 		o := mote.DefaultOptions()
 		if len(base) > 0 {
-			o = base[0]
+			if idx >= len(base) {
+				idx = len(base) - 1
+			}
+			o = base[idx]
 		}
 		o.Radio = true
 		o.RadioConfig = radio.Config{Channel: 26, UseDMA: useDMA}
 		return o
 	}
 	d := &DMACompare{World: w}
-	d.Node = w.AddNode(1, mkOpts())
-	d.Peer = w.AddNode(2, mkOpts())
+	d.Node = w.AddNode(1, mkOpts(0))
+	d.Peer = w.AddNode(2, mkOpts(1))
 
 	k := d.Node.K
 	d.Act = k.DefineActivity("BounceApp") // the figure labels the send this way

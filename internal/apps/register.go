@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/mote"
 	"repro/internal/scenario"
 	"repro/internal/units"
@@ -49,9 +50,19 @@ func buildBlink(spec scenario.Spec) (*scenario.Instance, error) {
 	}, nil
 }
 
+// perNodeBattery re-applies the spec's battery knobs for each concrete node
+// id, so battery_node_uah overrides land on the right mote in multi-node
+// topologies (Base carries node 1's configuration otherwise).
+func perNodeBattery(spec scenario.Spec) func(id core.NodeID, o *mote.Options) {
+	return func(id core.NodeID, o *mote.Options) {
+		spec.ApplyBattery(int(id), o)
+	}
+}
+
 func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
 	cfg := DefaultBounceConfig()
 	cfg.Base = baseOptions(spec)
+	cfg.PerNode = perNodeBattery(spec)
 	if spec.Channel != 0 {
 		cfg.Channel = spec.Channel
 	}
@@ -119,6 +130,7 @@ func buildLPL(spec scenario.Spec) (*scenario.Instance, error) {
 func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 	cfg := DefaultRelayConfig()
 	cfg.Base = baseOptions(spec)
+	cfg.PerNode = perNodeBattery(spec)
 	if spec.Nodes != 0 {
 		if spec.Nodes < 2 {
 			return nil, fmt.Errorf("relay needs at least 2 nodes, got %d", spec.Nodes)
@@ -148,6 +160,7 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
 	cfg := DefaultSenseSendConfig()
 	cfg.Base = baseOptions(spec)
+	cfg.PerNode = perNodeBattery(spec)
 	if spec.Channel != 0 {
 		cfg.Channel = spec.Channel
 	}
@@ -170,7 +183,11 @@ func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
 }
 
 func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
-	tb := NewTimerBug(spec.Seed, spec.CalibrateDCO, spec.MoteOptions())
+	// The case study's single node is id 32 (as in Figure 15), so its
+	// battery override key is "32", not "1".
+	opts := spec.MoteOptions()
+	spec.ApplyBattery(32, &opts)
+	tb := NewTimerBug(spec.Seed, spec.CalibrateDCO, opts)
 	return &scenario.Instance{
 		World: tb.World,
 		App:   tb,
@@ -192,7 +209,12 @@ func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
 	if startAt <= 0 {
 		startAt = 100 * units.Millisecond
 	}
-	d := NewDMACompare(spec.Seed, spec.UseDMA, payload, startAt, spec.MoteOptions())
+	// Per-node base options so battery_node_uah lands on the right mote
+	// (sender is node 1, receiver node 2).
+	sender := spec.MoteOptions()
+	receiver := spec.MoteOptions()
+	spec.ApplyBattery(2, &receiver)
+	d := NewDMACompare(spec.Seed, spec.UseDMA, payload, startAt, sender, receiver)
 	return &scenario.Instance{
 		World: d.World,
 		App:   d,

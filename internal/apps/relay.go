@@ -39,6 +39,10 @@ type RelayConfig struct {
 	// Base, when set, seeds each node's mote options before the radio
 	// wiring is applied; nil selects mote.DefaultOptions.
 	Base *mote.Options
+	// PerNode, when set, adjusts each node's options after Base is copied
+	// (node ids are 1..Hops). Lifetime scenarios use it to give individual
+	// hops different battery capacities.
+	PerNode func(id core.NodeID, o *mote.Options)
 }
 
 // DefaultRelayConfig builds a 3-hop line generating a packet per second.
@@ -61,6 +65,9 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 		opts := mote.DefaultOptions()
 		if cfg.Base != nil {
 			opts = *cfg.Base
+		}
+		if cfg.PerNode != nil {
+			cfg.PerNode(core.NodeID(i+1), &opts)
 		}
 		opts.Radio = true
 		opts.RadioConfig = radio.Config{Channel: cfg.Channel}

@@ -40,6 +40,9 @@ type SenseSendConfig struct {
 	// Base, when set, seeds each node's mote options before the radio
 	// wiring is applied; nil selects mote.DefaultOptions.
 	Base *mote.Options
+	// PerNode, when set, adjusts each node's options after Base is copied
+	// (called with SensorNode's and BaseNode's ids).
+	PerNode func(id core.NodeID, o *mote.Options)
 }
 
 // DefaultSenseSendConfig samples every 5 seconds.
@@ -55,17 +58,20 @@ func NewSenseSend(seed uint64, cfg SenseSendConfig) *SenseSend {
 	w := mote.NewWorld(seed)
 	s := &SenseSend{World: w}
 
-	mkOpts := func() mote.Options {
+	mkOpts := func(id core.NodeID) mote.Options {
 		o := mote.DefaultOptions()
 		if cfg.Base != nil {
 			o = *cfg.Base
+		}
+		if cfg.PerNode != nil {
+			cfg.PerNode(id, &o)
 		}
 		o.Radio = true
 		o.RadioConfig = radio.Config{Channel: cfg.Channel}
 		return o
 	}
-	s.Sensor = w.AddNode(cfg.SensorNode, mkOpts())
-	s.Base = w.AddNode(cfg.BaseNode, mkOpts())
+	s.Sensor = w.AddNode(cfg.SensorNode, mkOpts(cfg.SensorNode))
+	s.Base = w.AddNode(cfg.BaseNode, mkOpts(cfg.BaseNode))
 
 	k := s.Sensor.K
 	s.ActHum = k.DefineActivity("ACT_HUM")

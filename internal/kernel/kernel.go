@@ -106,6 +106,7 @@ type Kernel struct {
 	localNow  units.Ticks
 	busyUntil units.Ticks
 	running   bool
+	dead      bool
 
 	tasks []task
 
@@ -166,6 +167,9 @@ func (k *Kernel) Attach(trk *core.Tracker) {
 func (k *Kernel) scheduleDCO(period units.Ticks) {
 	var fire func()
 	fire = func() {
+		if k.dead {
+			return // stop self-rescheduling once the node browned out
+		}
 		k.dispatchIRQ(k.dcoIRQ, func() {
 			k.Spend(k.opts.DCOCalibrationCost)
 		})
@@ -227,6 +231,21 @@ func (k *Kernel) Spend(n units.Cycles) {
 // Running reports whether the CPU is currently executing a handler.
 func (k *Kernel) Running() bool { return k.running }
 
+// Kill permanently halts the kernel, modeling a brownout: the task queue is
+// dropped, the pending hardware compare event is canceled, and every future
+// interrupt dispatch, task post, or boot becomes a no-op. There is no
+// resurrection — a depleted node stays dark for the rest of the run.
+func (k *Kernel) Kill() {
+	k.dead = true
+	k.tasks = nil
+	if k.compareEvent.Scheduled() {
+		k.Sim.Cancel(k.compareEvent)
+	}
+}
+
+// Dead reports whether the kernel has been killed.
+func (k *Kernel) Dead() bool { return k.dead }
+
 // BusyUntil returns the end of the most recent (or current) busy window.
 func (k *Kernel) BusyUntil() units.Ticks { return k.busyUntil }
 
@@ -269,6 +288,9 @@ func (k *Kernel) Post(fn func()) {
 // instrumentation (e.g. protocol forwarding queues) uses it to store and
 // restore the activity associated with a queue entry.
 func (k *Kernel) PostLabeled(label core.Label, fn func()) {
+	if k.dead {
+		return
+	}
 	k.tasks = append(k.tasks, task{fn: fn, label: label})
 	if !k.running {
 		k.pump()
@@ -281,7 +303,7 @@ func (k *Kernel) pump() {
 		at = k.busyUntil
 	}
 	k.Sim.Schedule(at, sim.PrioTask, func() {
-		if k.running {
+		if k.running || k.dead {
 			return // a concurrent wake-up already drained the queue
 		}
 		if k.Sim.Now() < k.busyUntil {
@@ -300,6 +322,9 @@ func (k *Kernel) pump() {
 // assembly and application wiring happen inside it.
 func (k *Kernel) Boot(fn func()) {
 	k.Sim.Schedule(k.Sim.Now(), sim.PrioTask, func() {
+		if k.dead {
+			return
+		}
 		if k.running {
 			panic("kernel: boot while running")
 		}
@@ -344,6 +369,9 @@ func (irq *IRQ) RaiseAfter(d units.Ticks, handler func()) *sim.Event {
 // with the proxy activity, run the handler, restore the previous activity,
 // then let the scheduler drain any tasks the handler posted.
 func (k *Kernel) dispatchIRQ(irq *IRQ, handler func()) {
+	if k.dead {
+		return // an unpowered CPU takes no interrupts
+	}
 	if k.running || k.Sim.Now() < k.busyUntil {
 		// CPU busy: the interrupt line stays asserted until the current
 		// window closes (non-reentrant interrupts).

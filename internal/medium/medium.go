@@ -87,6 +87,20 @@ func New(s *sim.Simulator) *Medium { return &Medium{s: s} }
 // Register adds a receiver (a node's radio).
 func (m *Medium) Register(r Receiver) { m.receivers = append(m.receivers, r) }
 
+// Unregister removes a receiver from the medium. A node whose battery
+// depletes drops off the air: frames transmitted afterwards are no longer
+// delivered to it, and — because the dead node can no longer forward — every
+// node that depended on it loses connectivity, the cascade the lifetime
+// scenarios observe. Unregistering an unknown receiver is a no-op.
+func (m *Medium) Unregister(r Receiver) {
+	for i, x := range m.receivers {
+		if x == r {
+			m.receivers = append(m.receivers[:i], m.receivers[i+1:]...)
+			return
+		}
+	}
+}
+
 // AddWiFi attaches an interference source.
 func (m *Medium) AddWiFi(w *WiFiSource) { m.wifi = append(m.wifi, w) }
 

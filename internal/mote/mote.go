@@ -59,6 +59,20 @@ type Options struct {
 	// analysis.OnlineAccountant or a core.RingBuffer rides the same stream
 	// as the log without extra copies.
 	ExtraSinks []core.Sink
+	// BatteryUAH, when positive, powers the node from a finite battery of
+	// that many microamp-hours instead of an infinite supply. The node
+	// browns out at the exact instant the integrated net charge crosses
+	// zero: a death marker is logged, the radio falls off the medium, the
+	// board stops drawing, and the kernel is killed.
+	BatteryUAH float64
+	// Harvester feeds income into the battery (nil: pure battery). Ignored
+	// unless BatteryUAH is set.
+	Harvester power.Harvester
+	// HaltWorldOnDeath stops the entire simulation when THIS node's battery
+	// depletes (the "halt-world" death policy). The default policy lets the
+	// world keep running so surviving nodes' behavior after the death —
+	// retries, lost connectivity, cascades — stays observable.
+	HaltWorldOnDeath bool
 }
 
 // DefaultOptions returns the standard single-node configuration.
@@ -83,13 +97,35 @@ type Node struct {
 	RAM   *core.RAMBuffer // nil unless RAMBufferEntries or ContinuousDrain was set
 	Drain *core.DrainSink // nil unless ContinuousDrain was set
 
-	LEDs   *leds.LEDs
-	Sensor *sensor.SHT11
-	Flash  *flash.Flash
-	Radio  *radio.Radio // nil unless Options.Radio
-	AM     *am.AM       // nil unless Options.Radio
+	LEDs    *leds.LEDs
+	Sensor  *sensor.SHT11
+	Flash   *flash.Flash
+	Radio   *radio.Radio   // nil unless Options.Radio
+	AM      *am.AM         // nil unless Options.Radio
+	Battery *power.Battery // nil unless Options.BatteryUAH
 
 	Volts units.Volts
+
+	dead   bool
+	diedAt units.Ticks
+}
+
+// Alive reports whether the node still has supply power.
+func (n *Node) Alive() bool { return !n.dead }
+
+// DiedAt returns the battery-depletion instant and whether the node died.
+func (n *Node) DiedAt() (units.Ticks, bool) { return n.diedAt, n.dead }
+
+// DeathMarker is the marker value logged (on power.ResBaseline) as a node's
+// final entry when its battery depletes, so offline analysis can close the
+// last interval at the exact death instant and tell a dead node's truncated
+// log from a completed run's (which ends in the 0xFFFF end stamp).
+const DeathMarker uint16 = 0xDEAD
+
+// Death records one battery depletion.
+type Death struct {
+	Node core.NodeID
+	At   units.Ticks
 }
 
 // World is a set of nodes sharing a simulator, an RF medium, and a merged
@@ -99,6 +135,12 @@ type World struct {
 	Medium *medium.Medium
 	Dict   *core.Dictionary
 	Nodes  []*Node
+
+	// Deaths lists battery depletions in the order they occurred.
+	Deaths []Death
+	// OnDeath, when set, observes each depletion right after the node has
+	// been halted (apps use it to count cascade effects).
+	OnDeath func(n *Node, at units.Ticks)
 
 	seed uint64
 }
@@ -209,16 +251,68 @@ func (w *World) AddNode(id core.NodeID, opts Options) *Node {
 		n.AM = am.New(k, n.Radio)
 	}
 
+	if opts.BatteryUAH > 0 {
+		// The battery listens last, after every sink is registered, so its
+		// first integration segment starts from the complete assembly-time
+		// draw. All assembly happens at t=0, so no charge is missed.
+		bat := power.NewBattery(opts.BatteryUAH, opts.Harvester, w.Sim)
+		board.Listen(bat)
+		n.Battery = bat
+		haltWorld := opts.HaltWorldOnDeath
+		bat.OnDepleted(func(at units.Ticks) { w.killNode(n, at, haltWorld) })
+	}
+
 	w.Nodes = append(w.Nodes, n)
 	return n
+}
+
+// killNode is the depletion event handler: it runs as its own simulator event
+// (never inside a device handler) at the exact crossing instant. The order
+// matters — the death marker must be the node's last log entry, stamped while
+// the meter still integrates, and everything after it must be silent.
+func (w *World) killNode(n *Node, at units.Ticks, haltWorld bool) {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.diedAt = at
+	// Final entry: exact time and cumulative energy at death, so offline
+	// analysis closes the last interval precisely.
+	n.Trk.Marker(power.ResBaseline, DeathMarker)
+	if n.Drain != nil {
+		// Continuous-drain mode: hand the harness the entries still buffered
+		// in RAM. (A real mote would lose them with the supply; the
+		// simulation keeps analysis exact instead.)
+		n.Drain.Flush()
+	}
+	n.Trk.SetEnabled(false)
+	if n.Radio != nil {
+		// Off the air: no more frame deliveries, no more forwarding. This is
+		// what makes downstream nodes lose connectivity when a relay dies.
+		w.Medium.Unregister(n.Radio)
+		n.Radio.ForceOff()
+	}
+	n.Board.Shutdown()
+	n.K.Kill()
+	w.Deaths = append(w.Deaths, Death{Node: n.ID, At: at})
+	if w.OnDeath != nil {
+		w.OnDeath(n, at)
+	}
+	if haltWorld {
+		w.Sim.Halt()
+	}
 }
 
 // StampEnd writes a final marker entry on every node so offline analysis can
 // close the last interval with an exact time and energy reading, and flushes
 // any continuous-drain buffers so the collector holds the complete stream.
+// Dead nodes are skipped: their death marker is already their final entry.
 // Call it after Run.
 func (w *World) StampEnd() {
 	for _, n := range w.Nodes {
+		if n.dead {
+			continue
+		}
 		n.Trk.Marker(power.ResBaseline, 0xFFFF)
 		if n.Drain != nil {
 			n.Drain.Flush()

@@ -1,0 +1,195 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// drive registers the battery behind a constant draw and runs the simulator.
+func drive(t *testing.T, capUAH float64, harv Harvester, drawUA units.MicroAmps, until units.Ticks) (*Battery, units.Ticks, bool) {
+	t.Helper()
+	s := sim.New()
+	b := NewBattery(capUAH, harv, s)
+	var deadAt units.Ticks = -1
+	b.OnDepleted(func(at units.Ticks) { deadAt = at })
+	b.CurrentChanged(0, drawUA)
+	s.Run(until)
+	b.Sync(s.Now())
+	return b, deadAt, deadAt >= 0
+}
+
+func TestBatteryConstantDrawDepletion(t *testing.T) {
+	// 1 uAh = 3600 uC at 1000 uA -> 3.6 s.
+	b, at, died := drive(t, 1, nil, 1000, 10*units.Second)
+	if !died {
+		t.Fatalf("battery did not deplete: %v", b)
+	}
+	want := units.Ticks(3_600_000)
+	if at != want {
+		t.Fatalf("died at %d, want %d", at, want)
+	}
+	if !b.Depleted() || b.DiedAt() != want {
+		t.Fatalf("state: depleted=%v diedAt=%d", b.Depleted(), b.DiedAt())
+	}
+	if b.MarginFrac() != 0 {
+		t.Fatalf("margin after death = %v, want 0", b.MarginFrac())
+	}
+}
+
+func TestBatterySurvivesWithinHorizon(t *testing.T) {
+	b, _, died := drive(t, 10, nil, 1000, 10*units.Second)
+	if died {
+		t.Fatalf("battery depleted unexpectedly")
+	}
+	// 10 s at 1000 uA = 10000 uC of 36000 uC.
+	wantMargin := 1 - 10_000.0/36_000.0
+	if math.Abs(b.MarginFrac()-wantMargin) > 1e-9 {
+		t.Fatalf("margin = %v, want %v", b.MarginFrac(), wantMargin)
+	}
+}
+
+func TestBatteryDrawChangeMovesDepletion(t *testing.T) {
+	s := sim.New()
+	b := NewBattery(1, nil, s) // 3600 uC
+	var deadAt units.Ticks = -1
+	b.OnDepleted(func(at units.Ticks) { deadAt = at })
+	b.CurrentChanged(0, 2000)
+	// After 1 s (2000 uC spent) the draw drops to 400 uA:
+	// 1600 uC / 400 uA = 4 s more -> death at 5 s.
+	s.Schedule(1*units.Second, sim.PrioHardware, func() {
+		b.CurrentChanged(1*units.Second, 400)
+	})
+	s.Run(20 * units.Second)
+	if deadAt != 5*units.Second {
+		t.Fatalf("died at %v, want 5s", deadAt)
+	}
+}
+
+func TestBatteryConstantHarvestExtendsLife(t *testing.T) {
+	// Net draw 1000-600 = 400 uA over 3600 uC -> 9 s.
+	_, at, died := drive(t, 1, ConstantHarvester(600), 1000, 20*units.Second)
+	if !died {
+		t.Fatalf("battery did not deplete")
+	}
+	if at != 9*units.Second {
+		t.Fatalf("died at %v, want 9s", at)
+	}
+}
+
+func TestBatteryHarvestDominatesForever(t *testing.T) {
+	b, _, died := drive(t, 1, ConstantHarvester(1000), 1000, 60*units.Second)
+	if died {
+		t.Fatalf("net-zero battery depleted")
+	}
+	if math.Abs(b.MarginFrac()-1) > 1e-9 {
+		t.Fatalf("margin = %v, want 1", b.MarginFrac())
+	}
+}
+
+func TestBatteryChargeCapsAtCapacity(t *testing.T) {
+	s := sim.New()
+	b := NewBattery(1, ConstantHarvester(5000), s)
+	b.CurrentChanged(0, 100) // net +4900 uA charging a full battery
+	s.Run(10 * units.Second)
+	b.Sync(s.Now())
+	if b.RemainingUAH() > b.CapacityUAH()+1e-9 {
+		t.Fatalf("charge %v exceeds capacity %v", b.RemainingUAH(), b.CapacityUAH())
+	}
+}
+
+func TestPeriodicHarvesterWaveform(t *testing.T) {
+	h := PeriodicHarvester{UA: 500, Period: 10 * units.Millisecond, On: 3 * units.Millisecond}
+	cases := []struct {
+		t     units.Ticks
+		ua    units.MicroAmps
+		until units.Ticks
+	}{
+		{0, 500, 3 * units.Millisecond},
+		{2999, 500, 3 * units.Millisecond},
+		{3 * units.Millisecond, 0, 10 * units.Millisecond},
+		{9999, 0, 10 * units.Millisecond},
+		{10 * units.Millisecond, 500, 13 * units.Millisecond},
+	}
+	for _, c := range cases {
+		ua, until := h.CurrentAt(c.t)
+		if ua != c.ua || until != c.until {
+			t.Fatalf("CurrentAt(%d) = (%v, %v), want (%v, %v)", c.t, ua, until, c.ua, c.until)
+		}
+	}
+}
+
+func TestPeriodicHarvesterPhase(t *testing.T) {
+	h := PeriodicHarvester{UA: 100, Period: 10, On: 5, Phase: 2}
+	if ua, until := h.CurrentAt(0); ua != 0 || until != 2 {
+		t.Fatalf("CurrentAt(0) = (%v, %v), want dark until phase start", ua, until)
+	}
+	if ua, until := h.CurrentAt(2); ua != 100 || until != 7 {
+		t.Fatalf("CurrentAt(2) = (%v, %v), want lit until 7", ua, until)
+	}
+}
+
+func TestBatteryPeriodicHarvestExactDeath(t *testing.T) {
+	// Draw 1000 uA; harvest 1000 uA half the time (period 2 s, on 1 s):
+	// net drain averages 500 uA -> 3600 uC lasts 7.2 s of average, but the
+	// discharge only happens in the dark second of each cycle, 3600 uC /
+	// 1000 uA = 3.6 s of dark time. Dark seconds are [1,2), [3,4), [5,6),
+	// [7,8): 3.6 s of dark accumulates at t = 1+1+1+0.6 into the 4th dark
+	// window -> death at 7.6 s.
+	h := PeriodicHarvester{UA: 1000, Period: 2 * units.Second, On: 1 * units.Second}
+	_, at, died := drive(t, 1, h, 1000, 30*units.Second)
+	if !died {
+		t.Fatalf("battery did not deplete")
+	}
+	if at != units.Ticks(7_600_000) {
+		t.Fatalf("died at %v, want 7.6s", at)
+	}
+}
+
+func TestBatteryProjectionBeyondWalkHorizon(t *testing.T) {
+	// A short-period harvester forces the projection to walk many segments;
+	// death lands far beyond one walk's horizon but must still be exact.
+	// Net: 1000 uA for 1 ms, 0 uA (1000 harvested) for 1 ms, i.e. average
+	// 500 uA. 3600 uC / 1000 uA = 3.6 s of discharge time, accumulated half
+	// of each 2 ms cycle -> death at 7.2 s minus the final on-window shift:
+	// discharge completes 3600 cycles in, at cycle 3600's dark end. Dark
+	// windows are [0,1)ms, [2,3)ms, ... so 3.6 s of dark time completes at
+	// t = 2*3.6 s - 1 ms... simpler: trust exactness and pin the value.
+	h := PeriodicHarvester{UA: 1000, Period: 2 * units.Millisecond, On: 1 * units.Millisecond, Phase: 1 * units.Millisecond}
+	_, at, died := drive(t, 1, h, 1000, 30*units.Second)
+	if !died {
+		t.Fatalf("battery did not deplete")
+	}
+	// Discharge happens in [0,1)ms of each 2 ms cycle (phase shifts "on" to
+	// the second half). 3.6 s of discharge = 3600 full dark windows; the
+	// 3600th dark window is [7.198 s, 7.199 s), death at its end.
+	if at != units.Ticks(7_199_000) {
+		t.Fatalf("died at %v us, want 7199000", at)
+	}
+}
+
+func TestBatteryDeterministicAcrossReruns(t *testing.T) {
+	run := func() units.Ticks {
+		h := PeriodicHarvester{UA: 700, Period: 33 * units.Millisecond, On: 13 * units.Millisecond}
+		_, at, died := drive(t, 2, h, 900, 120*units.Second)
+		if !died {
+			t.Fatalf("battery did not deplete")
+		}
+		return at
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("death time not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestNewBatteryRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewBattery(0) did not panic")
+		}
+	}()
+	NewBattery(0, nil, sim.New())
+}

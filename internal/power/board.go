@@ -25,6 +25,7 @@ type Board struct {
 	now    func() units.Ticks
 	states map[core.ResourceID]core.PowerState
 	order  []core.ResourceID // stable iteration for deterministic sums
+	dead   bool
 
 	listeners []CurrentListener
 }
@@ -43,15 +44,32 @@ func NewBoard(volts units.Volts, draws DrawTable, now func() units.Ticks) *Board
 // Volts returns the supply voltage.
 func (b *Board) Volts() units.Volts { return b.volts }
 
-// AddSink registers an energy sink in state initial. Registration order does
-// not affect results: the total is summed in resource-id order.
-func (b *Board) AddSink(res core.ResourceID, initial core.PowerState) {
-	if _, ok := b.states[res]; !ok {
-		b.order = append(b.order, res)
-		sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+// setState records (res, st), registering the sink if unknown, and reports
+// whether this is a real edge — a new sink, or a registered sink actually
+// changing state. Idempotent re-signals are absorbed here so every caller
+// shares one copy of the dedup semantics.
+func (b *Board) setState(res core.ResourceID, st core.PowerState) bool {
+	if prev, ok := b.states[res]; ok {
+		if prev == st {
+			return false
+		}
+		b.states[res] = st
+		return true
 	}
-	b.states[res] = initial
-	b.publish()
+	b.order = append(b.order, res)
+	sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+	b.states[res] = st
+	return true
+}
+
+// AddSink registers an energy sink in state initial. Registration order does
+// not affect results: the total is summed in resource-id order. Re-adding a
+// sink that is already registered in the same state is idempotent and does
+// not publish a spurious CurrentChanged edge.
+func (b *Board) AddSink(res core.ResourceID, initial core.PowerState) {
+	if b.setState(res, initial) && !b.dead {
+		b.publish()
+	}
 }
 
 // Listen registers a current listener and immediately informs it of the
@@ -61,26 +79,43 @@ func (b *Board) Listen(l CurrentListener) {
 	l.CurrentChanged(b.now(), b.Current())
 }
 
-// PowerStateChanged implements core.PowerStateListener.
+// PowerStateChanged implements core.PowerStateListener. A change that leaves
+// the recorded state untouched (a driver re-signaling the state it is already
+// in) publishes nothing: listeners only see real edges.
 func (b *Board) PowerStateChanged(res core.ResourceID, old, now core.PowerState) {
-	if _, ok := b.states[res]; !ok {
-		b.order = append(b.order, res)
-		sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+	if b.setState(res, now) && !b.dead {
+		b.publish()
 	}
-	b.states[res] = now
-	b.publish()
 }
 
 // Current returns the instantaneous aggregate draw. It is recomputed from
 // scratch on every query so repeated transitions cannot accumulate
-// floating-point drift.
+// floating-point drift. A shut-down board draws nothing.
 func (b *Board) Current() units.MicroAmps {
+	if b.dead {
+		return 0
+	}
 	var total units.MicroAmps
 	for _, res := range b.order {
 		total += b.draws.Draw(res, b.states[res])
 	}
 	return total
 }
+
+// Shutdown models supply collapse (battery depletion): from now on the board
+// draws nothing and publishes no further changes. Listeners receive one final
+// zero-current edge so integrating meters close their last segment at the
+// death instant. Shutdown is idempotent.
+func (b *Board) Shutdown() {
+	if b.dead {
+		return
+	}
+	b.dead = true
+	b.publish()
+}
+
+// Dead reports whether the board has been shut down.
+func (b *Board) Dead() bool { return b.dead }
 
 // State returns the recorded power state of res.
 func (b *Board) State(res core.ResourceID) core.PowerState { return b.states[res] }

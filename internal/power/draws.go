@@ -31,9 +31,19 @@ func (d DrawTable) Clone() DrawTable {
 }
 
 // BaselineMicroAmps is the calibrated always-on board draw: quiescent
-// switching regulator, supply network and the MCU asleep. The paper's
-// regressions report it as the constant term — 0.79 mA in the Table 2
-// calibration and 0.83 mA in the Table 3 run; we pick a value in between.
+// switching regulator, supply network, and the MCU asleep.
+//
+// Calibration provenance (the single source for this number — external docs
+// reference this constant rather than restating it): the paper never
+// measures the baseline directly; it appears as the constant term of the
+// energy regressions, and the two reported fits disagree slightly —
+// 0.79 mA in the Table 2 bench calibration and 0.83 mA in the Table 3
+// in-situ Blink run. The simulation uses 800 uA, between the two, so that
+// reproduced regressions recover a constant inside the paper's own spread
+// rather than matching one table exactly and missing the other. The
+// individual deep-sleep trickle draws of Table 1 are deliberately folded
+// into this constant (see CalibratedDraws) because the paper's regressions
+// cannot separate them from it either.
 const BaselineMicroAmps units.MicroAmps = 800
 
 // NominalDraws builds a draw table from the Table 1 datasheet values. CPU

@@ -179,6 +179,18 @@ func (r *Radio) TurnOn(done func()) {
 	})
 }
 
+// ForceOff models a brownout: the transceiver loses power without any driver
+// involvement. Unlike TurnOff it charges no CPU work and produces no log
+// entries — the caller (the mote's death path) disables the tracker first and
+// the board stops supplying current, so the power-state variables are left
+// where they were, exactly like a real supply collapse freezes the last
+// logged state. Frames in the air are lost (the listening flag is cleared).
+func (r *Radio) ForceOff() {
+	r.on = false
+	r.listening = false
+	r.sending = false
+}
+
 // TurnOff drops the radio to its lowest-power state immediately.
 func (r *Radio) TurnOff() {
 	if r.listening {

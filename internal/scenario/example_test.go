@@ -1,0 +1,74 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ExampleMatrix_Expand shows how a matrix becomes a run list: the cross
+// product of every sweep list (fields in sorted-name order, the last field
+// varying fastest), replicated across derived seeds (innermost). Every
+// returned spec already carries its final seed — derived from the base seed
+// and the run's configuration content, not its matrix position — so
+// execution order and sweep-list reordering can never affect a run's
+// randomness.
+func ExampleMatrix_Expand() {
+	m := scenario.Matrix{
+		Base: scenario.Spec{App: "lpl", DurationUS: 2_000_000, Seed: 1},
+		Sweep: map[string][]any{
+			"channel":     []any{17, 26},
+			"battery_uah": []any{4.0, 8.0},
+		},
+		Seeds: 2,
+	}
+	specs, err := m.Expand()
+	if err != nil {
+		fmt.Println("expand:", err)
+		return
+	}
+	fmt.Printf("%d runs (2 capacities x 2 channels x 2 seeds)\n", len(specs))
+	seeds := make(map[uint64]bool)
+	for i, s := range specs {
+		fmt.Printf("run %d: battery=%v channel=%d\n", i, s.BatteryUAH, s.Channel)
+		seeds[s.Seed] = true
+	}
+	fmt.Printf("distinct derived seeds: %d\n", len(seeds))
+	// Output:
+	// 8 runs (2 capacities x 2 channels x 2 seeds)
+	// run 0: battery=4 channel=17
+	// run 1: battery=4 channel=17
+	// run 2: battery=4 channel=26
+	// run 3: battery=4 channel=26
+	// run 4: battery=8 channel=17
+	// run 5: battery=8 channel=17
+	// run 6: battery=8 channel=26
+	// run 7: battery=8 channel=26
+	// distinct derived seeds: 8
+}
+
+// ExampleAggregate shows the cross-run fold `quanto-trace sweep` performs:
+// results whose specs share a ConfigKey (replicas under different seeds —
+// the key clears seed and name) become one group, and every numeric output
+// gets mean/stddev/CI95 statistics across the group. Blink is fully
+// deterministic, so two seeds produce identical entry counts and a zero
+// confidence interval.
+func ExampleAggregate() {
+	r1 := scenario.RunSpec(scenario.Spec{App: "blink", DurationUS: 1_000_000, Seed: 1})
+	r2 := scenario.RunSpec(scenario.Spec{App: "blink", DurationUS: 1_000_000, Seed: 2})
+	if r1.Error != "" || r2.Error != "" {
+		fmt.Println("runs failed")
+		return
+	}
+	ag := scenario.Aggregate([]*scenario.Result{r1, r2})
+	groups := ag.Groups()
+	fmt.Printf("groups: %d\n", len(groups))
+	g := groups[0]
+	st := g.Stat("entries")
+	fmt.Printf("runs folded: %d\n", g.N)
+	fmt.Printf("entries: mean=%.0f ci95=%.0f\n", st.Mean(), st.CI95())
+	// Output:
+	// groups: 1
+	// runs folded: 2
+	// entries: mean=19 ci95=0
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -15,6 +16,20 @@ type NodeResult struct {
 	SpanUS     int64   `json:"span_us"`
 	EnergyUJ   float64 `json:"energy_uj"`
 	AvgPowerMW float64 `json:"avg_power_mw"`
+
+	// The energy-budget outcome, present only when the node ran from a
+	// finite battery (spec battery_uah / battery_node_uah).
+	//
+	// LifetimeUS is the time to depletion, or the observed end of the run
+	// when the node survived — the full duration normally, the halt
+	// instant under death_policy halt-world (a censored lifetime either
+	// way; Died tells which). MarginFrac is the battery charge left at the
+	// end of the run as a fraction of capacity (0 for a dead node).
+	BatteryUAH float64 `json:"battery_uah,omitempty"`
+	Died       bool    `json:"died,omitempty"`
+	DiedAtUS   int64   `json:"died_at_us,omitempty"`
+	LifetimeUS int64   `json:"lifetime_us,omitempty"`
+	MarginFrac float64 `json:"margin_frac,omitempty"`
 }
 
 // Result is the compact, JSON-stable output of one run: enough to aggregate
@@ -42,11 +57,16 @@ type Result struct {
 	// Metrics carries the app's own counters (false-positive rate, packets
 	// delivered, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Deaths counts battery depletions; FirstDeathUS is the earliest one.
+	Deaths       int   `json:"deaths,omitempty"`
+	FirstDeathUS int64 `json:"first_death_us,omitempty"`
 	// Error is set when the run failed; the other fields are then partial.
 	Error string `json:"error,omitempty"`
 }
 
 // Values flattens the result's numeric content for cross-run aggregation.
+// Battery-powered nodes contribute per-node lifetime and margin metrics, so
+// a seed-replicated sweep gets CI95 bounds on time-to-death for free.
 func (r *Result) Values() map[string]float64 {
 	v := map[string]float64{
 		"total_uj":     r.TotalUJ,
@@ -59,6 +79,26 @@ func (r *Result) Values() map[string]float64 {
 	}
 	for name, x := range r.Metrics {
 		v["metric:"+name] = x
+	}
+	battery := false
+	for _, n := range r.Nodes {
+		if n.BatteryUAH <= 0 {
+			continue
+		}
+		battery = true
+		id := strconv.Itoa(n.Node)
+		v["lifetime_us:node"+id] = float64(n.LifetimeUS)
+		v["margin_frac:node"+id] = n.MarginFrac
+		died := 0.0
+		if n.Died {
+			died = 1
+		}
+		v["died:node"+id] = died
+	}
+	if battery {
+		// Always present for battery runs so the aggregate's death count
+		// averages over every replica, not only the fatal ones.
+		v["deaths"] = float64(r.Deaths)
 	}
 	return v
 }
@@ -100,13 +140,36 @@ func (in *Instance) Finish() (*Result, error) {
 		if a.Span() > r.SpanUS {
 			r.SpanUS = a.Span()
 		}
-		r.Nodes = append(r.Nodes, NodeResult{
+		nr := NodeResult{
 			Node:       id,
 			Entries:    entries,
 			SpanUS:     a.Span(),
 			EnergyUJ:   a.TotalEnergyUJ(),
 			AvgPowerMW: a.AveragePowerMW(),
-		})
+		}
+		if n != nil && n.Battery != nil {
+			// Close the battery's integration at the end of the run so a
+			// survivor's margin covers the full duration.
+			n.Battery.Sync(in.World.Sim.Now())
+			nr.BatteryUAH = n.Battery.CapacityUAH()
+			nr.MarginFrac = n.Battery.MarginFrac()
+			if at, died := n.DiedAt(); died {
+				nr.Died = true
+				nr.DiedAtUS = int64(at)
+				nr.LifetimeUS = int64(at)
+				if r.Deaths == 0 || int64(at) < r.FirstDeathUS {
+					r.FirstDeathUS = int64(at)
+				}
+				r.Deaths++
+			} else {
+				// Censor at the observed end of the run, not the requested
+				// duration: under halt-world the simulation stops at the
+				// first death, and crediting survivors with unsimulated
+				// time would inflate their lifetimes.
+				nr.LifetimeUS = int64(in.World.Sim.Now())
+			}
+		}
+		r.Nodes = append(r.Nodes, nr)
 	}
 	if r.SpanUS > 0 {
 		r.AvgPowerMW = r.TotalUJ / float64(r.SpanUS) * 1000

@@ -78,6 +78,34 @@ func (rn *Runner) Run(specs []Spec) []*Result {
 	return results
 }
 
+// Lifetimes folds the battery outcomes of a result list into a lifetime
+// report: runs sharing a ConfigKey are one group, every battery-powered node
+// gets a death rate, mean time-to-death with CI95, and mean energy margin
+// across the group's seeds. Runs without batteries (and failed runs)
+// contribute nothing, so the report is empty for non-lifetime sweeps.
+func Lifetimes(results []*Result) *analysis.LifetimeReport {
+	lr := analysis.NewLifetimeReport()
+	for _, r := range results {
+		if r == nil || r.Error != "" {
+			continue
+		}
+		var nodes []analysis.NodeLifetime
+		for _, n := range r.Nodes {
+			if n.BatteryUAH <= 0 {
+				continue
+			}
+			nodes = append(nodes, analysis.NodeLifetime{
+				Node:       n.Node,
+				Died:       n.Died,
+				LifetimeUS: n.LifetimeUS,
+				MarginFrac: n.MarginFrac,
+			})
+		}
+		lr.Add(r.Spec.ConfigKey(), nodes)
+	}
+	return lr
+}
+
 // Aggregate folds a result list into per-configuration statistics: runs
 // sharing a ConfigKey (replicas across seeds) are one group, and every
 // numeric output — total energy, average power, per-activity energy, app

@@ -24,86 +24,215 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 
 	"repro/internal/mote"
+	"repro/internal/power"
 	"repro/internal/units"
 )
 
 // Spec declares one run. The zero value of every optional field means "the
 // app's default" (matching the paper's setup for that workload), so a minimal
 // spec is just {"app": "blink", "duration_us": 48000000}. All durations are
-// simulated microseconds, which is also the simulator's tick unit.
+// simulated microseconds, which is also the simulator's tick unit; currents
+// are microamps and battery capacities microamp-hours.
+//
+// Each field's doc states which registered apps honor it. Fields an app does
+// not honor are accepted but inert there — sweeping them produces replicas
+// of the same behavior under different ConfigKeys, so prefer sweeping knobs
+// the swept app actually reads.
 type Spec struct {
 	// Name is a cosmetic tag carried into results; it does not affect seed
-	// derivation or grouping.
+	// derivation or grouping. Honored by: all apps.
 	Name string `json:"name,omitempty"`
 	// App selects the registered constructor ("blink", "bounce", "lpl",
-	// "relay", "sensesend", "timerbug", "dma", ...). See Apps().
+	// "relay", "sensesend", "timerbug", "dma", ...). See Apps(). Required.
 	App string `json:"app"`
-	// Seed drives every stochastic element of the run. In a Matrix this is
-	// the base seed that per-run seeds are derived from.
+	// Seed drives every stochastic element of the run (CSMA backoff, WiFi
+	// interference, measurement ripple). In a Matrix this is the base seed
+	// that per-run seeds are derived from. Default 0 (a valid, fixed
+	// stream). Honored by: all apps.
 	Seed uint64 `json:"seed,omitempty"`
-	// DurationUS is the simulated run length in microseconds.
+	// DurationUS is the simulated run length in microseconds. Required
+	// (> 0); there is no default.
 	DurationUS int64 `json:"duration_us"`
-	// Nodes sizes the topology for apps with a variable node count (the
-	// relay line's hop count). 0 selects the app default.
+	// Nodes sizes the topology for apps with a variable node count.
+	// 0 selects the app default. Honored by: relay (hop count, >= 2,
+	// default 3); other apps have fixed topologies.
 	Nodes int `json:"nodes,omitempty"`
-	// Channel is the 802.15.4 channel for radio apps (17 overlaps 802.11b
-	// channel 6; 26 is clear). 0 selects the app default.
+	// Channel is the 802.15.4 channel, 11..26 (17 overlaps 802.11b
+	// channel 6; 26 is clear). 0 selects the app default (26, except the
+	// LPL study's channel comparison). Honored by: bounce, lpl, relay,
+	// sensesend.
 	Channel int `json:"channel,omitempty"`
-	// Volts overrides the supply voltage (default 3.0 V; the paper's LPL
-	// mote ran at 3.35 V).
+	// Volts overrides the supply voltage in volts. Default 3.0 V (lpl:
+	// 3.35 V, the paper's regulator). Honored by: all apps.
 	Volts float64 `json:"volts,omitempty"`
 
 	// CalibrateDCO enables the 16 Hz digital-oscillator calibration
 	// interrupt, the TinyOS default the TimerBug case study exposes.
+	// Default off. Honored by: all apps (timerbug is its showcase).
 	CalibrateDCO bool `json:"calibrate_dco,omitempty"`
 	// UseDMA selects DMA-based CPU-radio bus transfers instead of the
-	// interrupt-per-2-bytes default (the Figure 16 comparison).
+	// interrupt-per-2-bytes default (the Figure 16 comparison). Default
+	// off. Honored by: bounce, dma.
 	UseDMA bool `json:"use_dma,omitempty"`
 	// RAMBufferEntries routes the log through a fixed mote-style RAM buffer
 	// of that many entries, so buffer-full behaviour can be observed.
+	// Default 0 (no RAM buffer). Honored by: all apps.
 	RAMBufferEntries int `json:"ram_buffer_entries,omitempty"`
 	// ContinuousDrain selects the paper's streaming logging mode: entries
 	// buffer in RAM and a low-priority task drains them under a
-	// self-accounting "Quanto" activity (Section 4.4).
+	// self-accounting "Quanto" activity (Section 4.4). Mutually exclusive
+	// with RAMBufferEntries; default off. Honored by: all apps.
 	ContinuousDrain bool `json:"continuous_drain,omitempty"`
 
-	// PeriodUS is the app's generation/sampling period (relay packet
-	// generation, sense-and-send sampling). 0 selects the app default.
+	// PeriodUS is the app's generation/sampling period in microseconds.
+	// 0 selects the app default. Honored by: relay (packet generation,
+	// default 1 s), sensesend (sampling, default 5 s).
 	PeriodUS int64 `json:"period_us,omitempty"`
 	// HoldTimeUS is how long a Bounce node keeps a packet before sending it
-	// back. 0 selects the paper's 220 ms.
+	// back, in microseconds. 0 selects the paper's 220 ms. Honored by:
+	// bounce.
 	HoldTimeUS int64 `json:"hold_time_us,omitempty"`
-	// PayloadBytes sizes the DMA comparison's packet payload.
+	// PayloadBytes sizes the DMA comparison's packet payload. 0 selects 30.
+	// Honored by: dma.
 	PayloadBytes int `json:"payload_bytes,omitempty"`
-	// StartAtUS is when the DMA comparison fires its single send.
+	// StartAtUS is when the DMA comparison fires its single send, in
+	// microseconds. 0 selects 100 ms. Honored by: dma.
 	StartAtUS int64 `json:"start_at_us,omitempty"`
 
-	// CheckPeriodUS is the LPL sleep interval between channel checks
-	// (paper: 500 ms).
+	// CheckPeriodUS is the LPL sleep interval between channel checks, in
+	// microseconds. 0 selects the paper's 500 ms. Honored by: lpl.
 	CheckPeriodUS int64 `json:"check_period_us,omitempty"`
 	// ReceiveCheckUS is how long the LPL receiver stays on during a clean
-	// check.
+	// check, in microseconds. 0 selects 9.4 ms. Honored by: lpl.
 	ReceiveCheckUS int64 `json:"receive_check_us,omitempty"`
 	// FalsePositiveHoldUS is how long the LPL receiver is held on after
-	// detecting energy (paper: ~100 ms).
+	// detecting energy, in microseconds. 0 selects the paper's ~100 ms.
+	// Honored by: lpl.
 	FalsePositiveHoldUS int64 `json:"false_positive_hold_us,omitempty"`
 	// NoWiFi disables the interfering 802.11b access point that the LPL
-	// study runs against by default.
+	// study runs against by default. Honored by: lpl.
 	NoWiFi bool `json:"no_wifi,omitempty"`
-	// WiFiBurstUS / WiFiGapUS shape the interferer's traffic; the defaults
-	// give ~17.9% channel occupancy, matching the paper's 17.8%
-	// false-positive rate.
+	// WiFiBurstUS / WiFiGapUS shape the interferer's traffic, in
+	// microseconds (defaults 5 ms / 23 ms: ~17.9% channel occupancy,
+	// matching the paper's 17.8% false-positive rate). Honored by: lpl.
 	WiFiBurstUS int64 `json:"wifi_burst_us,omitempty"`
 	WiFiGapUS   int64 `json:"wifi_gap_us,omitempty"`
+
+	// BatteryUAH gives every node a finite battery of that many
+	// microamp-hours (default 0: infinite supply). A node halts at the
+	// exact instant its integrated net charge crosses zero; results then
+	// carry per-node lifetimes and energy margins. Honored by: all apps.
+	BatteryUAH float64 `json:"battery_uah,omitempty"`
+	// BatteryNodeUAH overrides BatteryUAH per node; keys are decimal node
+	// ids ("1", "2", ...) as each app assigns them: relay 1..Nodes, dma
+	// 1-2, sensesend 1 (base) and 2 (sensor), bounce the paper's ids 1
+	// and 4, timerbug the figure's id 32. An explicit 0 gives that node an
+	// infinite supply. This is how a relay chain starves one hop to study
+	// cascades. Honored by: all apps.
+	BatteryNodeUAH map[string]float64 `json:"battery_node_uah,omitempty"`
+	// Harvest attaches an energy-income profile to every finite battery.
+	// Requires BatteryUAH or BatteryNodeUAH. Honored by: all apps.
+	Harvest *HarvestSpec `json:"harvest,omitempty"`
+	// DeathPolicy selects what a depletion does to the rest of the run:
+	// "halt-node" (the default) halts only the depleted node and lets the
+	// network keep running; "halt-world" stops the whole simulation at the
+	// first death. Requires a finite battery. Honored by: all apps.
+	DeathPolicy string `json:"death_policy,omitempty"`
+}
+
+// Death policies for Spec.DeathPolicy.
+const (
+	DeathPolicyHaltNode  = "halt-node"
+	DeathPolicyHaltWorld = "halt-world"
+)
+
+// HarvestSpec is the declarative form of a power.Harvester. All currents are
+// microamps, all durations simulated microseconds.
+type HarvestSpec struct {
+	// Profile selects the shape: "constant" (UA forever) or "periodic" (UA
+	// during the first OnUS of every PeriodUS, 0 otherwise).
+	Profile string `json:"profile"`
+	// UA is the harvested current while the source is producing.
+	UA float64 `json:"ua"`
+	// PeriodUS / OnUS / PhaseUS shape the periodic profile; ignored for
+	// "constant".
+	PeriodUS int64 `json:"period_us,omitempty"`
+	OnUS     int64 `json:"on_us,omitempty"`
+	PhaseUS  int64 `json:"phase_us,omitempty"`
+}
+
+// Harvester builds the power-layer source this spec describes.
+func (h *HarvestSpec) Harvester() (power.Harvester, error) {
+	switch h.Profile {
+	case "constant":
+		if h.UA < 0 {
+			return nil, fmt.Errorf("scenario: harvest ua must be >= 0, got %v", h.UA)
+		}
+		return power.ConstantHarvester(h.UA), nil
+	case "periodic":
+		if h.UA < 0 || h.PeriodUS <= 0 || h.OnUS <= 0 {
+			return nil, fmt.Errorf("scenario: periodic harvest needs ua >= 0, period_us > 0 and on_us > 0")
+		}
+		return power.PeriodicHarvester{
+			UA:     units.MicroAmps(h.UA),
+			Period: units.Ticks(h.PeriodUS),
+			On:     units.Ticks(h.OnUS),
+			Phase:  units.Ticks(h.PhaseUS),
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown harvest profile %q (want constant or periodic)", h.Profile)
+	}
+}
+
+// hasBattery reports whether any node gets a finite battery.
+func (s *Spec) hasBattery() bool {
+	if s.BatteryUAH > 0 {
+		return true
+	}
+	for _, v := range s.BatteryNodeUAH {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyBattery writes the spec's energy-budget knobs for the node with the
+// given id into o, overwriting whatever battery configuration o carried. App
+// builders call it once per node so per-node capacity overrides take effect;
+// single-node apps get it for free through MoteOptions.
+func (s *Spec) ApplyBattery(node int, o *mote.Options) {
+	capUAH := s.BatteryUAH
+	if v, ok := s.BatteryNodeUAH[strconv.Itoa(node)]; ok {
+		capUAH = v
+	}
+	if capUAH <= 0 {
+		o.BatteryUAH, o.Harvester, o.HaltWorldOnDeath = 0, nil, false
+		return
+	}
+	o.BatteryUAH = capUAH
+	o.Harvester = nil
+	if s.Harvest != nil {
+		// Build always runs Validate before any builder calls ApplyBattery,
+		// so an invalid harvest spec has been rejected by the time this err
+		// guard can trigger; it only shields direct callers.
+		if h, err := s.Harvest.Harvester(); err == nil {
+			o.Harvester = h
+		}
+	}
+	o.HaltWorldOnDeath = s.DeathPolicy == DeathPolicyHaltWorld
 }
 
 // Duration returns the run length as simulator ticks.
 func (s *Spec) Duration() units.Ticks { return units.Ticks(s.DurationUS) }
 
 // MoteOptions translates the spec's generic node knobs into mote options,
-// starting from the standard single-node configuration.
+// starting from the standard single-node configuration. The battery knobs
+// are applied for node 1; multi-node apps re-apply them per node with
+// ApplyBattery so BatteryNodeUAH overrides land on the right mote.
 func (s *Spec) MoteOptions() mote.Options {
 	o := mote.DefaultOptions()
 	if s.Volts > 0 {
@@ -114,6 +243,7 @@ func (s *Spec) MoteOptions() mote.Options {
 	}
 	o.RAMBufferEntries = s.RAMBufferEntries
 	o.ContinuousDrain = s.ContinuousDrain
+	s.ApplyBattery(1, &o)
 	return o
 }
 
@@ -125,6 +255,34 @@ func (s *Spec) Validate() error {
 	}
 	if s.DurationUS <= 0 {
 		return fmt.Errorf("scenario: spec %q has no positive duration_us", s.App)
+	}
+	if s.BatteryUAH < 0 {
+		return fmt.Errorf("scenario: battery_uah must be >= 0, got %v", s.BatteryUAH)
+	}
+	for id, v := range s.BatteryNodeUAH {
+		if _, err := strconv.Atoi(id); err != nil {
+			return fmt.Errorf("scenario: battery_node_uah key %q is not a node id", id)
+		}
+		if v < 0 {
+			return fmt.Errorf("scenario: battery_node_uah[%s] must be >= 0, got %v", id, v)
+		}
+	}
+	if s.Harvest != nil {
+		if !s.hasBattery() {
+			return fmt.Errorf("scenario: harvest requires battery_uah or battery_node_uah")
+		}
+		if _, err := s.Harvest.Harvester(); err != nil {
+			return err
+		}
+	}
+	switch s.DeathPolicy {
+	case "", DeathPolicyHaltNode, DeathPolicyHaltWorld:
+	default:
+		return fmt.Errorf("scenario: unknown death_policy %q (want %q or %q)",
+			s.DeathPolicy, DeathPolicyHaltNode, DeathPolicyHaltWorld)
+	}
+	if s.DeathPolicy != "" && !s.hasBattery() {
+		return fmt.Errorf("scenario: death_policy requires a finite battery")
 	}
 	return nil
 }

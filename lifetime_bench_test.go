@@ -1,0 +1,122 @@
+// Benchmarks for the lifetime layer: what finite batteries cost the sweep
+// runner. Battery integration rides the existing CurrentListener path and
+// death projection is event-driven (no polling), so a lifetime sweep should
+// run at nearly the plain sweep's throughput; these benches make that claim
+// measurable. The report fold is benchmarked separately from the simulation
+// so a regression in either shows up unmixed.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// benchLifetimeMatrix is the acceptance matrix: battery capacity x LPL check
+// interval (x harvest on/off) under derived seeds. Capacities are sized so
+// roughly half the runs end in a death — both the depletion path and the
+// censored-survivor path stay hot.
+func benchLifetimeMatrix(seeds int) scenario.Matrix {
+	return scenario.Matrix{
+		Base: scenario.Spec{
+			App:        "lpl",
+			Seed:       1,
+			DurationUS: int64(2 * units.Second),
+			Channel:    17,
+		},
+		Sweep: map[string][]any{
+			"battery_uah":     {1.0, 16.0},
+			"check_period_us": {250000, 500000},
+			"harvest": {
+				nil,
+				map[string]any{"profile": "periodic", "ua": 2000, "period_us": 100000, "on_us": 30000},
+			},
+		},
+		Seeds: seeds,
+	}
+}
+
+// BenchmarkLifetimeSweepThroughput measures the battery-enabled matrix under
+// widening worker pools, reporting the same ns/run and runs/sec metrics as
+// BenchmarkSweepThroughput so the two are directly comparable in CI output.
+func BenchmarkLifetimeSweepThroughput(b *testing.B) {
+	matrix := benchLifetimeMatrix(8)
+	specs, err := matrix.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rn := &scenario.Runner{Workers: workers}
+			b.ResetTimer()
+			var deaths int
+			for i := 0; i < b.N; i++ {
+				results := rn.Run(specs)
+				deaths = 0
+				for _, r := range results {
+					if r.Error != "" {
+						b.Fatalf("run %d: %s", r.Run, r.Error)
+					}
+					deaths += r.Deaths
+				}
+			}
+			if deaths == 0 {
+				b.Fatal("no deaths in lifetime bench; depletion path not exercised")
+			}
+			nsPerRun := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(specs))
+			b.ReportMetric(nsPerRun, "ns/run")
+			b.ReportMetric(1e9/nsPerRun, "runs/sec")
+		})
+	}
+}
+
+// BenchmarkLifetimeBatteryOverhead pins the cost of the battery itself: the
+// same single LPL configuration with and without a finite battery. The delta
+// is the integration + depletion-projection overhead per run.
+func BenchmarkLifetimeBatteryOverhead(b *testing.B) {
+	base := scenario.Spec{
+		App:        "lpl",
+		Seed:       1,
+		DurationUS: int64(2 * units.Second),
+		Channel:    17,
+	}
+	b.Run("infinite-supply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := scenario.RunSpec(base); r.Error != "" {
+				b.Fatal(r.Error)
+			}
+		}
+	})
+	b.Run("battery", func(b *testing.B) {
+		spec := base
+		spec.BatteryUAH = 1e6 // survives the whole run: pure integration cost
+		for i := 0; i < b.N; i++ {
+			if r := scenario.RunSpec(spec); r.Error != "" {
+				b.Fatal(r.Error)
+			}
+		}
+	})
+}
+
+// BenchmarkLifetimeReportFold isolates the analysis-side fold: results in,
+// rendered cross-seed lifetime table out.
+func BenchmarkLifetimeReportFold(b *testing.B) {
+	matrix := benchLifetimeMatrix(8)
+	specs, err := matrix.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	results := (&scenario.Runner{}).Run(specs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report := scenario.Lifetimes(results)
+		if report.Empty() {
+			b.Fatal("empty report")
+		}
+		if len(report.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
