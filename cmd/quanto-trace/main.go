@@ -25,6 +25,18 @@
 //
 // Use -apps to list the registered workloads.
 //
+// Spatial radio studies sweep the same way: give the spec a placement
+// ("line", "grid" or "rgg") and the propagation knobs (area_m,
+// path_loss_exp, tx_range_m, capture_db) become ordinary sweepable fields,
+// with per-link PRR tables and collision counts in every result. A
+// 500-node random-geometric density×duty matrix is one JSON document:
+//
+//	echo '{"base": {"app": "relay", "nodes": 500, "duration_us": 5000000,
+//	       "seed": 7, "placement": "rgg"},
+//	       "sweep": {"area_m": [400, 800], "period_us": [250000, 1000000]},
+//	       "seeds": 4}' |
+//	  quanto-trace sweep -workers 4 -
+//
 // lifetime answers the question Quanto's accounting alone cannot: "how long
 // does this node live on this budget?" It runs the same expanded matrix as
 // sweep — the spec must give at least one node a finite battery

@@ -1,7 +1,8 @@
 // TestDocLinks is the repo's link checker: every relative link and
-// every backtick-quoted path reference in README.md and docs/*.md must
-// resolve to a real file or directory, so architecture-doc references cannot
-// rot silently when packages move. CI runs it in the docs job.
+// every backtick-quoted path reference in README.md, docs/*.md, and the
+// per-example walkthroughs (examples/*/README.md) must resolve to a real
+// file or directory, so architecture-doc references cannot rot silently
+// when packages move. CI runs it in the docs job.
 package repro
 
 import (
@@ -36,7 +37,11 @@ func docFiles(t *testing.T) []string {
 			files = append(files, filepath.Join("docs", e.Name()))
 		}
 	}
-	return files
+	walkthroughs, err := filepath.Glob(filepath.Join("examples", "*", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, walkthroughs...)
 }
 
 func TestDocLinks(t *testing.T) {

@@ -26,9 +26,37 @@ func TestRunningStat(t *testing.T) {
 	if s.Min() != 2 || s.Max() != 9 {
 		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
 	}
-	wantCI := 1.96 * want / math.Sqrt(8)
+	// 8 samples: Student-t with 7 degrees of freedom, not z=1.96.
+	wantCI := 2.365 * want / math.Sqrt(8)
 	if math.Abs(s.CI95()-wantCI) > 1e-12 {
 		t.Errorf("ci95 = %g, want %g", s.CI95(), wantCI)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	// Exact table values at the replication counts sweeps actually use.
+	for _, tc := range []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {2, 4.303}, {7, 2.365}, {30, 2.042}} {
+		if got := tCrit95(tc.df); got != tc.want {
+			t.Errorf("tCrit95(%d) = %g, want %g", tc.df, got, tc.want)
+		}
+	}
+	// Beyond the table: monotonically decreasing onto the z asymptote.
+	prev := tCrit95(30)
+	for df := 31; df <= 1000; df += 7 {
+		got := tCrit95(df)
+		if got >= prev || got <= 1.96 {
+			t.Fatalf("tCrit95(%d) = %g not in (1.96, %g)", df, got, prev)
+		}
+		prev = got
+	}
+	if got := tCrit95(1 << 20); math.Abs(got-1.96) > 1e-4 {
+		t.Errorf("asymptote = %g, want ~1.96", got)
+	}
+	if tCrit95(0) != 0 {
+		t.Error("df=0 must degenerate to 0")
 	}
 }
 

@@ -71,6 +71,9 @@ func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
 	}
 	cfg.UseDMA = spec.UseDMA
 	b := NewBounce(spec.Seed, cfg)
+	if err := spec.ApplySpatial(b.World); err != nil {
+		return nil, err
+	}
 	return &scenario.Instance{
 		World: b.World,
 		App:   b,
@@ -144,6 +147,9 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 		cfg.Period = units.Ticks(spec.PeriodUS)
 	}
 	r := NewRelay(spec.Seed, cfg)
+	if err := spec.ApplySpatial(r.World); err != nil {
+		return nil, err
+	}
 	return &scenario.Instance{
 		World: r.World,
 		App:   r,
@@ -152,6 +158,7 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 			return map[string]float64{
 				"generated": float64(gen),
 				"delivered": float64(del),
+				"dropped":   float64(r.Dropped()),
 			}
 		},
 	}, nil
@@ -168,6 +175,9 @@ func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
 		cfg.Period = units.Ticks(spec.PeriodUS)
 	}
 	s := NewSenseSend(spec.Seed, cfg)
+	if err := spec.ApplySpatial(s.World); err != nil {
+		return nil, err
+	}
 	return &scenario.Instance{
 		World: s.World,
 		App:   s,
@@ -215,6 +225,9 @@ func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
 	receiver := spec.MoteOptions()
 	spec.ApplyBattery(2, &receiver)
 	d := NewDMACompare(spec.Seed, spec.UseDMA, payload, startAt, sender, receiver)
+	if err := spec.ApplySpatial(d.World); err != nil {
+		return nil, err
+	}
 	return &scenario.Instance{
 		World: d.World,
 		App:   d,

@@ -29,6 +29,7 @@ type Relay struct {
 	period    units.Ticks
 	generated uint64
 	delivered uint64
+	dropped   uint64
 }
 
 // RelayConfig parameterizes the line network.
@@ -91,9 +92,16 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 			}
 			// Forward through an instrumented queue: Post saves the
 			// current (origin's) activity and restores it when the
-			// queued entry is serviced.
+			// queued entry is serviced. A forwarder still transmitting
+			// the previous packet drops the new one — the single-buffer
+			// behavior that caps throughput when the generation period
+			// approaches the per-hop latency.
 			next := r.Nodes[i+1].ID
 			n.K.Post(func() {
+				if n.Radio.Busy() {
+					r.dropped++
+					return
+				}
 				out := &am.Packet{Dest: next, Type: RelayAMType, Payload: p.Payload}
 				n.AM.Send(out, nil)
 			})
@@ -109,6 +117,12 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 			origin.Radio.StartListening()
 			gen := origin.K.NewTimer(func() {
 				r.generated++
+				if origin.Radio.Busy() {
+					// Offered load beyond the radio's capacity: the
+					// previous flood is still leaving the antenna.
+					r.dropped++
+					return
+				}
 				out := &am.Packet{Dest: r.Nodes[1].ID, Type: RelayAMType, Payload: make([]byte, 8)}
 				origin.AM.Send(out, nil)
 			})
@@ -130,3 +144,7 @@ func (r *Relay) Run(d units.Ticks) {
 func (r *Relay) Stats() (generated, delivered uint64) {
 	return r.generated, r.delivered
 }
+
+// Dropped returns packets discarded because a node's radio was still
+// transmitting the previous one (offered load beyond capacity).
+func (r *Relay) Dropped() uint64 { return r.dropped }

@@ -2,14 +2,20 @@
 // between motes on 802.15.4 channels and wideband 802.11 interference that
 // leaks energy into overlapping 802.15.4 channels.
 //
-// The propagation model is intentionally simple — every registered node
-// hears every other node on the same channel, delivery is instantaneous at
-// the speed-of-light scale of a testbed — because the experiments that use
-// it (Bounce, the LPL interference study) depend on timing and spectral
-// overlap, not on path loss.
+// Two propagation models share the Medium. The default is intentionally
+// simple — every registered node hears every other node on the same
+// channel, delivery is instantaneous at the speed-of-light scale of a
+// testbed — because the paper's experiments (Bounce, the LPL interference
+// study) depend on timing and spectral overlap, not on path loss.
+// EnableSpatial switches to the spatial link layer (spatial.go): node
+// positions, log-distance path loss with a PRR gray region, per-receiver
+// delivery over an O(neighbors) index, and receiver-side collisions with
+// capture — the model that makes density, range, and contention sweepable.
 package medium
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -65,18 +71,26 @@ type Receiver interface {
 	// Node identifies the receiver.
 	Node() core.NodeID
 	// FrameStart announces that a frame began arriving now; the frame's
-	// last bit lands at SentAt+Airtime. Receivers not listening on
-	// f.Channel simply ignore it.
-	FrameStart(f *Frame)
+	// last bit lands at SentAt+Airtime. It reports whether the receiver
+	// synced onto the frame: false when it is not listening, is itself
+	// transmitting (half-duplex), or is tuned to another channel. The
+	// spatial layer tallies a refused frame as an undelivered attempt so
+	// observed link PRR reflects MAC-level misses, not just channel loss;
+	// the broadcast model ignores the result.
+	FrameStart(f *Frame) bool
 }
 
-// Medium is the shared channel.
+// Medium is the shared channel. By default it is the flat broadcast model
+// described above; EnableSpatial switches it to the spatial link layer
+// (positions, path loss, per-link PRR, collisions) defined in spatial.go.
 type Medium struct {
 	s         *sim.Simulator
 	receivers []Receiver
 	wifi      []*WiFiSource
 
 	active []*Frame // transmissions currently in the air
+
+	sp *spatial // nil: legacy broadcast propagation
 
 	frames uint64
 }
@@ -85,7 +99,10 @@ type Medium struct {
 func New(s *sim.Simulator) *Medium { return &Medium{s: s} }
 
 // Register adds a receiver (a node's radio).
-func (m *Medium) Register(r Receiver) { m.receivers = append(m.receivers, r) }
+func (m *Medium) Register(r Receiver) {
+	m.receivers = append(m.receivers, r)
+	m.invalidateNeighbors()
+}
 
 // Unregister removes a receiver from the medium. A node whose battery
 // depletes drops off the air: frames transmitted afterwards are no longer
@@ -96,6 +113,7 @@ func (m *Medium) Unregister(r Receiver) {
 	for i, x := range m.receivers {
 		if x == r {
 			m.receivers = append(m.receivers[:i], m.receivers[i+1:]...)
+			m.invalidateNeighbors()
 			return
 		}
 	}
@@ -109,12 +127,20 @@ func (m *Medium) Frames() uint64 { return m.frames }
 
 // Transmit puts f on the air starting now. Each in-range receiver gets a
 // FrameStart immediately; the frame stays "active" for collision/energy
-// queries until its airtime elapses.
+// queries until its airtime elapses. Under the broadcast model "in range"
+// is every registered receiver (O(nodes) per transmission); under the
+// spatial layer it is the transmitter's precomputed neighbor list
+// (O(neighbors)), and reception is further gated on the link's PRR and on
+// collisions with overlapping co-channel frames.
 func (m *Medium) Transmit(f *Frame) {
 	f.SentAt = m.s.Now()
 	m.frames++
 	m.active = append(m.active, f)
 	m.s.Schedule(f.SentAt+f.Airtime, sim.PrioHardware, func() { m.expire(f) })
+	if m.sp != nil {
+		m.transmitSpatial(f)
+		return
+	}
 	for _, r := range m.receivers {
 		if r.Node() == f.Src {
 			continue
@@ -137,13 +163,26 @@ func (m *Medium) expire(f *Frame) {
 // spectral overlap fraction for an active WiFi burst, 0 for a clear
 // channel. A clear-channel-assessment against a threshold is a comparison
 // on this value.
+//
+// A frame occupies the half-open window [SentAt, SentAt+Airtime): the gate
+// is on the frame's own timestamps, not on `active` membership, so a CCA
+// landing exactly at SentAt+Airtime sees a clear channel no matter how the
+// scheduler ordered the expiry event against the query at that tick.
 func (m *Medium) EnergyOn(ch int, t units.Ticks) float64 {
 	var e float64
 	for _, f := range m.active {
-		if f.Channel == ch {
+		if f.Channel == ch && f.SentAt <= t && t < f.SentAt+f.Airtime {
 			e += 1.0
 		}
 	}
+	return e + m.wifiEnergy(ch, t)
+}
+
+// wifiEnergy folds every interferer's spectral-overlap contribution on an
+// 802.15.4 channel at time t. Shared by EnergyOn and EnergyOnAt so the two
+// queries cannot diverge on the interference half.
+func (m *Medium) wifiEnergy(ch int, t units.Ticks) float64 {
+	var e float64
 	panFreq := ChannelFreqMHz(ch)
 	for _, w := range m.wifi {
 		if w.ActiveAt(t) {
@@ -151,6 +190,32 @@ func (m *Medium) EnergyOn(ch int, t units.Ticks) float64 {
 		}
 	}
 	return e
+}
+
+// EnergyOnAt is the position-aware form of EnergyOn: under the spatial link
+// layer, only mote transmissions audible at the querying node (transmitter
+// within TxRangeM) contribute their 1.0, so a busy channel three rooms away
+// no longer trips a far node's CCA. WiFi interferers have no position and
+// stay global. With no spatial configuration it is exactly EnergyOn.
+func (m *Medium) EnergyOnAt(node core.NodeID, ch int, t units.Ticks) float64 {
+	if m.sp == nil {
+		return m.EnergyOn(ch, t)
+	}
+	var e float64
+	at, ok := m.sp.pos[node]
+	for _, f := range m.active {
+		if f.Channel != ch || f.SentAt > t || t >= f.SentAt+f.Airtime {
+			continue
+		}
+		if ok {
+			src, known := m.sp.pos[f.Src]
+			if known && src.Distance(at) > m.sp.cfg.TxRangeM {
+				continue
+			}
+		}
+		e += 1.0
+	}
+	return e + m.wifiEnergy(ch, t)
 }
 
 // WiFiSource models an 802.11b/g access point plus its clients as a bursty
@@ -199,16 +264,21 @@ func (w *WiFiSource) ActiveAt(t units.Ticks) bool {
 	return lo < len(w.bursts) && w.bursts[lo].start <= t
 }
 
-// DutyCycle returns the fraction of [t0, t1) covered by bursts.
+// DutyCycle returns the fraction of [t0, t1) covered by bursts. The first
+// overlapping burst is found with the same binary search ActiveAt uses, so a
+// report over a late window costs O(log bursts + bursts in window) instead
+// of rescanning every burst ever generated.
 func (w *WiFiSource) DutyCycle(t0, t1 units.Ticks) float64 {
 	if t1 <= t0 {
 		return 0
 	}
 	w.ensure(t1)
+	// First burst with end > t0; bursts are generated in time order.
+	lo := sort.Search(len(w.bursts), func(i int) bool { return w.bursts[i].end > t0 })
 	var on units.Ticks
-	for _, b := range w.bursts {
-		if b.end <= t0 || b.start >= t1 {
-			continue
+	for _, b := range w.bursts[lo:] {
+		if b.start >= t1 {
+			break
 		}
 		s, e := b.start, b.end
 		if s < t0 {

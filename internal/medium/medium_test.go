@@ -41,8 +41,11 @@ type fakeReceiver struct {
 	frames []*Frame
 }
 
-func (r *fakeReceiver) Node() core.NodeID   { return r.node }
-func (r *fakeReceiver) FrameStart(f *Frame) { r.frames = append(r.frames, f) }
+func (r *fakeReceiver) Node() core.NodeID { return r.node }
+func (r *fakeReceiver) FrameStart(f *Frame) bool {
+	r.frames = append(r.frames, f)
+	return true
+}
 
 func TestTransmitDeliversToOthers(t *testing.T) {
 	s := sim.New()

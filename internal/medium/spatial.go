@@ -1,0 +1,515 @@
+// Spatial propagation: node positions, a log-distance path-loss + PRR link
+// model, per-receiver delivery, and receiver-side collision handling with
+// capture. This is the layer that makes density, range, and contention —
+// the dimensions that shape multi-hop energy — sweepable, replacing the
+// "every node hears every node" broadcast model when configured.
+//
+// Delivery is O(neighbors), not O(nodes): positions are static for a run,
+// so the medium builds per-node neighbor lists once (via a uniform grid
+// hash with cells of TxRangeM) and Transmit walks only the transmitter's
+// list. A node death invalidates the index; it rebuilds lazily.
+//
+// Determinism: neighbor lists are sorted by node id, exactly one PRR draw
+// is consumed per candidate receiver per frame from the medium's own RNG
+// stream, and collision outcomes are pure functions of frame timing and
+// link RSSI — so a spatial run is as reproducible as a broadcast one.
+package medium
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Position is a node's fixed location on the deployment plane, in meters.
+type Position struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q in meters.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Defaults and model constants of the spatial link layer.
+const (
+	// DefaultPathLossExp is the log-distance path-loss exponent (indoor /
+	// light obstruction; free space is 2, dense indoor up to 4+).
+	DefaultPathLossExp = 3.0
+	// DefaultTxRangeM is the hard delivery cutoff in meters; beyond it a
+	// transmission contributes neither frames nor interference.
+	DefaultTxRangeM = 50.0
+	// DefaultCaptureDB is the power margin at which a receiver decodes the
+	// stronger of two overlapping co-channel frames instead of losing both.
+	DefaultCaptureDB = 3.0
+	// DefaultRefLossDB is the path loss at the 1 m reference distance.
+	DefaultRefLossDB = 40.0
+	// DefaultNoiseDBm is the receiver noise floor.
+	DefaultNoiseDBm = -95.0
+
+	// prrMidSNRDB / prrWidthDB shape the logistic SNR→PRR curve: PRR is 0.5
+	// at the midpoint and transitions over a few widths — the classic
+	// 802.15.4 "gray region" between solid links and silence.
+	prrMidSNRDB = 5.0
+	prrWidthDB  = 1.0
+	// prrSureSNRDB is the SNR above which the link is treated as lossless
+	// (the logistic is within 3e-4 of 1 there), so short links never fail.
+	prrSureSNRDB = prrMidSNRDB + 8
+	// minDistanceM clamps the path-loss distance so co-located nodes do not
+	// produce unbounded RSSI.
+	minDistanceM = 0.1
+)
+
+// SpatialConfig parameterizes the spatial link layer. The zero value of
+// every field selects the default above, so an empty config is a working
+// 50 m-range indoor model.
+type SpatialConfig struct {
+	// PathLossExp is the log-distance path-loss exponent.
+	PathLossExp float64
+	// TxRangeM is the hard delivery cutoff in meters. It also sizes the
+	// neighbor-index grid cells, so it bounds per-transmit work.
+	TxRangeM float64
+	// CaptureDB is the capture margin: when two co-channel frames overlap
+	// at a receiver, the stronger is decoded if it exceeds the other by at
+	// least this many dB; otherwise both corrupt.
+	CaptureDB float64
+	// TxPowerDBm is the transmit power (0 dBm, the CC2420 maximum).
+	TxPowerDBm float64
+	// RefLossDB is the path loss at the 1 m reference distance.
+	RefLossDB float64
+	// NoiseDBm is the receiver noise floor.
+	NoiseDBm float64
+	// Seed drives the per-link PRR delivery draws.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c SpatialConfig) withDefaults() SpatialConfig {
+	if c.PathLossExp == 0 {
+		c.PathLossExp = DefaultPathLossExp
+	}
+	if c.TxRangeM == 0 {
+		c.TxRangeM = DefaultTxRangeM
+	}
+	if c.CaptureDB == 0 {
+		c.CaptureDB = DefaultCaptureDB
+	}
+	if c.RefLossDB == 0 {
+		c.RefLossDB = DefaultRefLossDB
+	}
+	if c.NoiseDBm == 0 {
+		c.NoiseDBm = DefaultNoiseDBm
+	}
+	return c
+}
+
+// RSSI returns the received signal strength in dBm at distance d meters
+// under the log-distance model: TxPower - RefLoss - 10·n·log10(d).
+func (c SpatialConfig) RSSI(d float64) float64 {
+	if d < minDistanceM {
+		d = minDistanceM
+	}
+	return c.TxPowerDBm - c.RefLossDB - 10*c.PathLossExp*math.Log10(d)
+}
+
+// PRR returns the packet reception ratio of a link with the given receive
+// strength: a logistic in SNR, exactly 1 above the sure threshold so short
+// links are lossless and exactly comparable to the broadcast model.
+func (c SpatialConfig) PRR(rssiDBm float64) float64 {
+	snr := rssiDBm - c.NoiseDBm
+	if snr >= prrSureSNRDB {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-(snr-prrMidSNRDB)/prrWidthDB))
+}
+
+// PlaceLine returns n positions evenly spaced on a horizontal line of the
+// given total length (n==1 sits at the origin).
+func PlaceLine(n int, length float64) []Position {
+	out := make([]Position, n)
+	if n <= 1 {
+		return out
+	}
+	step := length / float64(n-1)
+	for i := range out {
+		out[i] = Position{X: float64(i) * step}
+	}
+	return out
+}
+
+// PlaceGrid returns n positions on a near-square grid (ceil(sqrt(n))
+// columns, row-major) filling a side×side area.
+func PlaceGrid(n int, side float64) []Position {
+	out := make([]Position, n)
+	if n <= 1 {
+		return out
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	dx, dy := side, side
+	if cols > 1 {
+		dx = side / float64(cols-1)
+	}
+	if rows > 1 {
+		dy = side / float64(rows-1)
+	}
+	for i := range out {
+		out[i] = Position{X: float64(i%cols) * dx, Y: float64(i/cols) * dy}
+	}
+	return out
+}
+
+// PlaceRandomGeometric returns n positions drawn uniformly over a side×side
+// square from the given seed — the random-geometric-graph placement. The
+// draw order is fixed (node index order), so the layout is a pure function
+// of (n, side, seed).
+func PlaceRandomGeometric(n int, side float64, seed uint64) []Position {
+	rng := sim.NewRNG(seed)
+	out := make([]Position, n)
+	for i := range out {
+		out[i] = Position{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return out
+}
+
+// rxOutcome is the medium's verdict on one (frame, receiver) pair.
+type rxOutcome uint8
+
+const (
+	rxFailPRR   rxOutcome = iota // channel loss: the PRR draw failed
+	rxReceiving                  // decodable so far (final: delivered)
+	rxCollided                   // corrupted by an overlapping frame
+	rxMissed                     // receiver off/busy/detuned: never synced
+)
+
+// pendingFrame tracks a frame's fate at every candidate receiver while it
+// is on the air: parallel slices over the transmitter's neighbor list (so
+// ids are sorted and lookups are a binary search, no per-frame maps). rssi
+// is kept for capture contests against later frames.
+type pendingFrame struct {
+	ids   []core.NodeID
+	rssi  []float64
+	state []rxOutcome
+}
+
+// find returns the index of dst in the candidate list, or -1.
+func (pf *pendingFrame) find(dst core.NodeID) int {
+	i := sort.Search(len(pf.ids), func(i int) bool { return pf.ids[i] >= dst })
+	if i < len(pf.ids) && pf.ids[i] == dst {
+		return i
+	}
+	return -1
+}
+
+// neighbor is one precomputed in-range link.
+type neighbor struct {
+	id   core.NodeID
+	rcv  Receiver
+	rssi float64
+	prr  float64
+}
+
+// linkKey identifies a directed link.
+type linkKey struct{ src, dst core.NodeID }
+
+// linkTally accumulates one link's delivery outcomes.
+type linkTally struct{ attempts, delivered, collisions uint64 }
+
+// LinkStat is one directed link's delivery record: how many frames the
+// transmitter put on the air with the receiver in range, how many the
+// receiver actually synced and decoded (surviving the PRR draw, collisions,
+// and MAC-level misses — a busy or detuned radio counts as an undelivered
+// attempt), and how many were lost to collisions specifically. PRR is
+// Delivered/Attempts — the observed link quality.
+type LinkStat struct {
+	Src, Dst   core.NodeID
+	Attempts   uint64
+	Delivered  uint64
+	Collisions uint64
+	PRR        float64
+}
+
+// spatial is the medium's spatial-propagation state.
+type spatial struct {
+	cfg     SpatialConfig
+	rng     *sim.RNG
+	pos     map[core.NodeID]Position
+	nbrs    map[core.NodeID][]neighbor // nil: rebuild from receivers+pos
+	pending map[*Frame]*pendingFrame
+	tally   map[linkKey]*linkTally
+
+	collisions uint64
+}
+
+// EnableSpatial switches the medium from the broadcast model to the spatial
+// link layer. Every registered receiver must be given a position with
+// SetPosition before the first transmission. Calling it twice replaces the
+// configuration (positions are kept).
+func (m *Medium) EnableSpatial(cfg SpatialConfig) {
+	if m.sp == nil {
+		m.sp = &spatial{
+			pos:     make(map[core.NodeID]Position),
+			pending: make(map[*Frame]*pendingFrame),
+			tally:   make(map[linkKey]*linkTally),
+		}
+	}
+	m.sp.cfg = cfg.withDefaults()
+	m.sp.rng = sim.NewRNG(cfg.Seed)
+	m.invalidateNeighbors()
+}
+
+// SpatialEnabled reports whether the spatial link layer is configured.
+func (m *Medium) SpatialEnabled() bool { return m.sp != nil }
+
+// SetPosition places a node on the deployment plane. Positions are static
+// for a run; moving a node mid-run rebuilds the neighbor index.
+func (m *Medium) SetPosition(id core.NodeID, p Position) {
+	if m.sp == nil {
+		panic("medium: SetPosition before EnableSpatial")
+	}
+	m.sp.pos[id] = p
+	m.invalidateNeighbors()
+}
+
+// PositionOf returns a node's position and whether one was assigned.
+func (m *Medium) PositionOf(id core.NodeID) (Position, bool) {
+	if m.sp == nil {
+		return Position{}, false
+	}
+	p, ok := m.sp.pos[id]
+	return p, ok
+}
+
+// Collisions returns how many receptions were lost to co-channel collisions
+// (counted per frame per receiver; 0 under the broadcast model).
+func (m *Medium) Collisions() uint64 {
+	if m.sp == nil {
+		return 0
+	}
+	return m.sp.collisions
+}
+
+// LinkStats returns the per-link delivery table of completed frames, sorted
+// by (src, dst). Empty under the broadcast model.
+func (m *Medium) LinkStats() []LinkStat {
+	if m.sp == nil {
+		return nil
+	}
+	out := make([]LinkStat, 0, len(m.sp.tally))
+	for k, t := range m.sp.tally {
+		s := LinkStat{
+			Src: k.src, Dst: k.dst,
+			Attempts: t.attempts, Delivered: t.delivered, Collisions: t.collisions,
+		}
+		if t.attempts > 0 {
+			s.PRR = float64(t.delivered) / float64(t.attempts)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// Delivered reports whether frame f survived at the given receiver: true
+// unconditionally under the broadcast model, and under the spatial layer
+// true iff the PRR draw passed and no overlapping frame corrupted it. The
+// radio queries this when the frame's last bit lands, before draining the
+// RXFIFO — corruption can happen at any point during the airtime.
+func (m *Medium) Delivered(f *Frame, node core.NodeID) bool {
+	if m.sp == nil {
+		return true
+	}
+	pf := m.sp.pending[f]
+	if pf == nil {
+		return true
+	}
+	i := pf.find(node)
+	return i >= 0 && pf.state[i] == rxReceiving
+}
+
+// invalidateNeighbors drops the neighbor index so the next transmission
+// rebuilds it (topology changed: node added, died, or moved).
+func (m *Medium) invalidateNeighbors() {
+	if m.sp != nil {
+		m.sp.nbrs = nil
+	}
+}
+
+// buildNeighbors constructs every node's sorted in-range neighbor list in
+// O(nodes · neighbors) using a uniform grid hash with TxRangeM-sized cells:
+// all links of length <= TxRangeM lie within the 3×3 cell block around the
+// transmitter.
+func (m *Medium) buildNeighbors() {
+	sp := m.sp
+	cell := sp.cfg.TxRangeM
+	type cellKey struct{ cx, cy int64 }
+	buckets := make(map[cellKey][]Receiver, len(m.receivers))
+	at := func(r Receiver) Position {
+		p, ok := sp.pos[r.Node()]
+		if !ok {
+			panic(fmt.Sprintf("medium: node %d has no position; SetPosition every registered node before transmitting", r.Node()))
+		}
+		return p
+	}
+	key := func(p Position) cellKey {
+		return cellKey{int64(math.Floor(p.X / cell)), int64(math.Floor(p.Y / cell))}
+	}
+	for _, r := range m.receivers {
+		k := key(at(r))
+		buckets[k] = append(buckets[k], r)
+	}
+	sp.nbrs = make(map[core.NodeID][]neighbor, len(m.receivers))
+	for _, r := range m.receivers {
+		src := r.Node()
+		p := at(r)
+		k := key(p)
+		var list []neighbor
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, c := range buckets[cellKey{k.cx + dx, k.cy + dy}] {
+					if c == r {
+						continue
+					}
+					d := p.Distance(at(c))
+					if d > sp.cfg.TxRangeM {
+						continue
+					}
+					rssi := sp.cfg.RSSI(d)
+					list = append(list, neighbor{
+						id: c.Node(), rcv: c, rssi: rssi, prr: sp.cfg.PRR(rssi),
+					})
+				}
+			}
+		}
+		// Sorted delivery order keeps the RNG stream and the scheduled
+		// event sequence independent of bucket iteration order.
+		sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+		sp.nbrs[src] = list
+	}
+}
+
+// transmitSpatial delivers frame f under the spatial model: walk the
+// transmitter's neighbor list, draw each link's PRR, resolve collisions
+// against frames already in the air, and hand FrameStart only to receivers
+// that synced onto the preamble. The per-receiver fate stays queryable via
+// Delivered until the frame's last bit lands; the finalize event (scheduled
+// after every receiver's own end-of-frame event) folds it into link tallies.
+func (m *Medium) transmitSpatial(f *Frame) {
+	sp := m.sp
+	if sp.nbrs == nil {
+		m.buildNeighbors()
+	}
+	now := f.SentAt
+	nbrs := sp.nbrs[f.Src]
+	pf := &pendingFrame{
+		ids:   make([]core.NodeID, len(nbrs)),
+		rssi:  make([]float64, len(nbrs)),
+		state: make([]rxOutcome, len(nbrs)),
+	}
+	sp.pending[f] = pf
+	for i, nb := range nbrs {
+		pf.ids[i] = nb.id
+		pf.rssi[i] = nb.rssi
+		// Exactly one channel-loss draw per candidate receiver, whatever
+		// the collision outcome, so the RNG stream depends only on the
+		// frame/topology sequence.
+		st := rxReceiving
+		if sp.rng.Float64() >= nb.prr {
+			st = rxFailPRR
+		}
+		// MAC state next: a radio that is off, mid-transmission, or tuned
+		// elsewhere refuses the frame — a miss, never a collision, because
+		// there was no reception to lose. Only a synced radio can have one
+		// corrupted. (A frame that syncs here and collides below is caught
+		// at drain time by the Delivered query.)
+		if st == rxReceiving && !nb.rcv.FrameStart(f) {
+			st = rxMissed
+		}
+		// Contest against every frame still on the air (half-open airtime
+		// window, matching EnergyOn) that is audible at this receiver. The
+		// new frame's energy interferes even when its own PRR draw failed
+		// or its receiver never synced — an undecodable frame still
+		// corrupts what it lands on.
+		for _, g := range m.active {
+			if g == f || g.Channel != f.Channel {
+				continue
+			}
+			if g.SentAt > now || now >= g.SentAt+g.Airtime {
+				continue
+			}
+			pg := sp.pending[g]
+			if pg == nil {
+				continue
+			}
+			gi := pg.find(nb.id)
+			if gi < 0 {
+				continue // the ongoing frame is inaudible at this receiver
+			}
+			grssi := pg.rssi[gi]
+			switch {
+			case grssi-nb.rssi >= sp.cfg.CaptureDB:
+				// The ongoing frame is strong enough to survive; the new
+				// one arrives mid-frame under it and is lost here.
+				if st == rxReceiving {
+					st = rxCollided
+				}
+			case nb.rssi-grssi >= sp.cfg.CaptureDB:
+				// The new frame captures the receiver; the ongoing one is
+				// corrupted (if it was still decodable).
+				if pg.state[gi] == rxReceiving {
+					pg.state[gi] = rxCollided
+					sp.collisions++
+				}
+			default:
+				// Comparable power: both corrupt.
+				if pg.state[gi] == rxReceiving {
+					pg.state[gi] = rxCollided
+					sp.collisions++
+				}
+				if st == rxReceiving {
+					st = rxCollided
+				}
+			}
+		}
+		if st == rxCollided {
+			sp.collisions++
+		}
+		pf.state[i] = st
+	}
+	// Finalize after every end-of-frame event scheduled above: receivers
+	// query Delivered exactly at SentAt+Airtime, and this event was
+	// scheduled after theirs, so the verdict is still available.
+	m.s.Schedule(now+f.Airtime, sim.PrioHardware, func() { sp.finalize(f) })
+}
+
+// finalize folds a completed frame's per-receiver fates into the link
+// tallies and releases its tracking state.
+func (sp *spatial) finalize(f *Frame) {
+	pf := sp.pending[f]
+	if pf == nil {
+		return
+	}
+	delete(sp.pending, f)
+	for i, st := range pf.state {
+		k := linkKey{src: f.Src, dst: pf.ids[i]}
+		t := sp.tally[k]
+		if t == nil {
+			t = &linkTally{}
+			sp.tally[k] = t
+		}
+		t.attempts++
+		switch st {
+		case rxReceiving:
+			t.delivered++
+		case rxCollided:
+			t.collisions++
+		}
+	}
+}

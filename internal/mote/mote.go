@@ -6,6 +6,8 @@
 package mote
 
 import (
+	"fmt"
+
 	"repro/internal/am"
 	"repro/internal/core"
 	"repro/internal/flash"
@@ -301,6 +303,23 @@ func (w *World) killNode(n *Node, at units.Ticks, haltWorld bool) {
 	if haltWorld {
 		w.Sim.Halt()
 	}
+}
+
+// ConfigureSpatial switches the world's medium from the flat broadcast
+// model to the spatial link layer: positions[i] is assigned to w.Nodes[i]
+// (creation order, which is how apps index placements), and delivery from
+// then on is gated on range, per-link PRR, and collisions. Call it after
+// every node has been added; the default — never calling it — leaves the
+// broadcast medium byte-identical to its historical behavior.
+func (w *World) ConfigureSpatial(cfg medium.SpatialConfig, positions []medium.Position) error {
+	if len(positions) != len(w.Nodes) {
+		return fmt.Errorf("mote: %d positions for %d nodes", len(positions), len(w.Nodes))
+	}
+	w.Medium.EnableSpatial(cfg)
+	for i, n := range w.Nodes {
+		w.Medium.SetPosition(n.ID, positions[i])
+	}
+	return nil
 }
 
 // StampEnd writes a final marker entry on every node so offline analysis can

@@ -147,6 +147,11 @@ func (r *Radio) SetChannel(ch int) {
 // On reports whether the regulator and oscillator are up.
 func (r *Radio) On() bool { return r.on }
 
+// Busy reports whether a transmission is in progress (FIFO load, backoff,
+// or on the air). Send panics if called while busy; link layers that want
+// to drop or queue under load check this first.
+func (r *Radio) Busy() bool { return r.sending }
+
 // CCAStats returns how many clear-channel checks ran and how many reported
 // energy on the channel.
 func (r *Radio) CCAStats() (samples, positives uint64) {
@@ -247,7 +252,9 @@ func (r *Radio) SampleCCA() bool {
 		r.psRx.Set(power.RadioRxListen)
 	}
 	r.k.Spend(units.Cycles(CCASampleTime))
-	busy := r.med.EnergyOn(r.cfg.Channel, r.k.NowTicks()) > CCAThreshold
+	// Position-aware under the spatial link layer (only audible
+	// transmitters count); identical to the global query otherwise.
+	busy := r.med.EnergyOnAt(r.k.Node(), r.cfg.Channel, r.k.NowTicks()) > CCAThreshold
 	if !wasListening {
 		r.psRx.Set(power.RadioRxOff)
 	}
@@ -349,10 +356,11 @@ func (r *Radio) backoffAndTransmit(f *medium.Frame, label core.Label, done func(
 // on the air. If the receive path is listening on the right channel, the SFD
 // interrupt fires (under the pxy_RX proxy), the frame fills the RXFIFO for
 // its airtime, and the driver then drains the FIFO over the bus and hands
-// the frame up in task context.
-func (r *Radio) FrameStart(f *medium.Frame) {
+// the frame up in task context. The return value tells the medium whether
+// the receiver synced (false: off/busy/wrong channel — a MAC-level miss).
+func (r *Radio) FrameStart(f *medium.Frame) bool {
 	if !r.listening || r.sending || f.Channel != r.cfg.Channel {
-		return
+		return false
 	}
 	now := r.k.Sim.Now()
 	// Start-of-frame delimiter interrupt.
@@ -366,8 +374,12 @@ func (r *Radio) FrameStart(f *medium.Frame) {
 		if !r.listening {
 			return // receiver shut off mid-frame; frame lost
 		}
+		if !r.med.Delivered(f, r.k.Node()) {
+			return // corrupted by a colliding transmission (spatial medium)
+		}
 		r.drainRXFIFO(f)
 	})
+	return true
 }
 
 func (r *Radio) drainRXFIFO(f *medium.Frame) {

@@ -32,6 +32,19 @@ type NodeResult struct {
 	MarginFrac float64 `json:"margin_frac,omitempty"`
 }
 
+// LinkResult is one directed link's delivery record under the spatial
+// medium: frames put on the air with the receiver in range, frames that
+// survived the PRR draw and any collisions, frames lost to collisions, and
+// the observed PRR (delivered/attempts).
+type LinkResult struct {
+	Src        int     `json:"src"`
+	Dst        int     `json:"dst"`
+	Attempts   uint64  `json:"attempts"`
+	Delivered  uint64  `json:"delivered"`
+	Collisions uint64  `json:"collisions"`
+	PRR        float64 `json:"prr"`
+}
+
 // Result is the compact, JSON-stable output of one run: enough to aggregate
 // across seeds and compare across configurations without carrying the trace.
 // Map keys serialize sorted (encoding/json), so a Result's bytes depend only
@@ -57,6 +70,14 @@ type Result struct {
 	// Metrics carries the app's own counters (false-positive rate, packets
 	// delivered, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Spatial records that the run actually used the spatial medium (the
+	// app honored the spec's placement); Collisions counts receptions lost
+	// to co-channel collisions and Links holds the per-link delivery table
+	// (observed PRR per directed link). All absent under the broadcast
+	// model — including for apps that accept a placement but ignore it.
+	Spatial    bool         `json:"spatial,omitempty"`
+	Collisions uint64       `json:"collisions,omitempty"`
+	Links      []LinkResult `json:"links,omitempty"`
 	// Deaths counts battery depletions; FirstDeathUS is the earliest one.
 	Deaths       int   `json:"deaths,omitempty"`
 	FirstDeathUS int64 `json:"first_death_us,omitempty"`
@@ -99,6 +120,22 @@ func (r *Result) Values() map[string]float64 {
 		// Always present for battery runs so the aggregate's death count
 		// averages over every replica, not only the fatal ones.
 		v["deaths"] = float64(r.Deaths)
+	}
+	if r.Spatial {
+		// Runs that actually used the spatial medium contribute the
+		// contention counters — zeros included — so those aggregates
+		// cover every replica; link_prr (the network-wide delivery ratio)
+		// is only emitted when there were in-range attempts to measure.
+		v["collisions"] = float64(r.Collisions)
+		var attempts, delivered uint64
+		for _, l := range r.Links {
+			attempts += l.Attempts
+			delivered += l.Delivered
+		}
+		v["link_attempts"] = float64(attempts)
+		if attempts > 0 {
+			v["link_prr"] = float64(delivered) / float64(attempts)
+		}
 	}
 	return v
 }
@@ -176,6 +213,17 @@ func (in *Instance) Finish() (*Result, error) {
 	}
 	if in.Metrics != nil {
 		r.Metrics = in.Metrics()
+	}
+	if med := in.World.Medium; med.SpatialEnabled() {
+		r.Spatial = true
+		r.Collisions = med.Collisions()
+		for _, l := range med.LinkStats() {
+			r.Links = append(r.Links, LinkResult{
+				Src: int(l.Src), Dst: int(l.Dst),
+				Attempts: l.Attempts, Delivered: l.Delivered,
+				Collisions: l.Collisions, PRR: l.PRR,
+			})
+		}
 	}
 	return r, nil
 }

@@ -23,9 +23,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"strconv"
 
+	"repro/internal/medium"
 	"repro/internal/mote"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -121,6 +123,39 @@ type Spec struct {
 	WiFiBurstUS int64 `json:"wifi_burst_us,omitempty"`
 	WiFiGapUS   int64 `json:"wifi_gap_us,omitempty"`
 
+	// Placement selects the spatial propagation layer and how nodes are
+	// laid out on the plane: "line" (evenly spaced), "grid" (near-square,
+	// row-major), or "rgg" (uniform random over a square, drawn from the
+	// run seed — the random-geometric-graph placement). Empty (the
+	// default) keeps the legacy broadcast medium: every node hears every
+	// node, byte-identical to all pre-spatial runs. With a placement set,
+	// delivery is gated on range and per-link PRR (log-distance path
+	// loss), overlapping co-channel frames collide unless one captures,
+	// and results carry per-link PRR and collision counts. Honored by:
+	// bounce, dma, relay, sensesend (the radio topologies; lpl's
+	// interferer has no position).
+	Placement string `json:"placement,omitempty"`
+	// AreaM sizes the deployment in meters: the side of the square for
+	// "grid"/"rgg", the total line length for "line". 0 selects a default
+	// derived from tx_range_m (line/grid: 0.5 range spacing between
+	// neighbors; rgg: a side giving ~4π expected in-range neighbors).
+	// Requires placement. Honored by: same apps as placement.
+	AreaM float64 `json:"area_m,omitempty"`
+	// PathLossExp is the log-distance path-loss exponent (free space 2,
+	// indoor ~3, dense obstruction 4+). 0 selects 3.0; valid 1..8.
+	// Requires placement. Honored by: same apps as placement.
+	PathLossExp float64 `json:"path_loss_exp,omitempty"`
+	// TxRangeM is the hard delivery cutoff in meters; it also bounds
+	// per-transmit work (the neighbor index uses it as cell size). 0
+	// selects 50 m. Requires placement. Honored by: same apps as
+	// placement.
+	TxRangeM float64 `json:"tx_range_m,omitempty"`
+	// CaptureDB is the margin (dB) at which the stronger of two
+	// overlapping co-channel frames is still decoded instead of both
+	// corrupting. 0 selects 3 dB. Requires placement. Honored by: same
+	// apps as placement.
+	CaptureDB float64 `json:"capture_db,omitempty"`
+
 	// BatteryUAH gives every node a finite battery of that many
 	// microamp-hours (default 0: infinite supply). A node halts at the
 	// exact instant its integrated net charge crosses zero; results then
@@ -148,6 +183,85 @@ const (
 	DeathPolicyHaltNode  = "halt-node"
 	DeathPolicyHaltWorld = "halt-world"
 )
+
+// Placements for Spec.Placement.
+const (
+	PlacementLine = "line"
+	PlacementGrid = "grid"
+	PlacementRGG  = "rgg"
+)
+
+// spatialSeedMix / placementSeedMix decorrelate the spatial layer's RNG
+// streams from the run's other consumers (backoff, interference, ripple):
+// both derive from the run seed, so replicas under derived seeds get fresh
+// placements and fresh channel-loss draws, but neither shares a stream with
+// anything else.
+const (
+	spatialSeedMix   = 0x5A71A1C0DE01
+	placementSeedMix = 0x9B1ACE3E9701
+)
+
+// effectiveTxRange returns the spec's delivery cutoff with the default
+// applied, for deriving placement extents.
+func (s *Spec) effectiveTxRange() float64 {
+	if s.TxRangeM > 0 {
+		return s.TxRangeM
+	}
+	return medium.DefaultTxRangeM
+}
+
+// Positions computes the spec's node placement for n nodes (indexed in node
+// creation order). It is a pure function of (spec, n): the rgg draw comes
+// from the run seed, so a replicated sweep samples fresh layouts while any
+// single run stays exactly reproducible.
+func (s *Spec) Positions(n int) ([]medium.Position, error) {
+	r := s.effectiveTxRange()
+	area := s.AreaM
+	switch s.Placement {
+	case PlacementLine:
+		if area == 0 {
+			area = 0.5 * r * float64(n-1)
+		}
+		return medium.PlaceLine(n, area), nil
+	case PlacementGrid:
+		if area == 0 {
+			cols := int(math.Ceil(math.Sqrt(float64(n))))
+			area = 0.5 * r * float64(cols-1)
+		}
+		return medium.PlaceGrid(n, area), nil
+	case PlacementRGG:
+		if area == 0 {
+			// Side giving ~4π (≈12.6) expected in-range neighbors per
+			// node: n·πr² / side² = 4π at side = r·√n / 2.
+			area = r * math.Sqrt(float64(n)) / 2
+		}
+		seed := splitmix64(s.Seed ^ placementSeedMix)
+		return medium.PlaceRandomGeometric(n, area, seed), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown placement %q (want %q, %q or %q)",
+			s.Placement, PlacementLine, PlacementGrid, PlacementRGG)
+	}
+}
+
+// ApplySpatial configures the world's medium per the spec's placement
+// fields. App builders call it once, after every node has been added; with
+// no placement configured it is a no-op and the world keeps the legacy
+// broadcast medium.
+func (s *Spec) ApplySpatial(w *mote.World) error {
+	if s.Placement == "" {
+		return nil
+	}
+	pos, err := s.Positions(len(w.Nodes))
+	if err != nil {
+		return err
+	}
+	return w.ConfigureSpatial(medium.SpatialConfig{
+		PathLossExp: s.PathLossExp,
+		TxRangeM:    s.TxRangeM,
+		CaptureDB:   s.CaptureDB,
+		Seed:        splitmix64(s.Seed ^ spatialSeedMix),
+	}, pos)
+}
 
 // HarvestSpec is the declarative form of a power.Harvester. All currents are
 // microamps, all durations simulated microseconds.
@@ -280,6 +394,30 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown death_policy %q (want %q or %q)",
 			s.DeathPolicy, DeathPolicyHaltNode, DeathPolicyHaltWorld)
+	}
+	switch s.Placement {
+	case "", PlacementLine, PlacementGrid, PlacementRGG:
+	default:
+		return fmt.Errorf("scenario: unknown placement %q (want %q, %q or %q)",
+			s.Placement, PlacementLine, PlacementGrid, PlacementRGG)
+	}
+	if s.Placement == "" {
+		if s.AreaM != 0 || s.PathLossExp != 0 || s.TxRangeM != 0 || s.CaptureDB != 0 {
+			return fmt.Errorf("scenario: area_m/path_loss_exp/tx_range_m/capture_db require a placement")
+		}
+	} else {
+		if s.AreaM < 0 {
+			return fmt.Errorf("scenario: area_m must be >= 0, got %v", s.AreaM)
+		}
+		if s.PathLossExp != 0 && (s.PathLossExp < 1 || s.PathLossExp > 8) {
+			return fmt.Errorf("scenario: path_loss_exp must be in [1, 8] (or 0 for the default), got %v", s.PathLossExp)
+		}
+		if s.TxRangeM < 0 {
+			return fmt.Errorf("scenario: tx_range_m must be >= 0, got %v", s.TxRangeM)
+		}
+		if s.CaptureDB < 0 {
+			return fmt.Errorf("scenario: capture_db must be >= 0, got %v", s.CaptureDB)
+		}
 	}
 	if s.DeathPolicy != "" && !s.hasBattery() {
 		return fmt.Errorf("scenario: death_policy requires a finite battery")
