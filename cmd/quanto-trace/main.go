@@ -66,6 +66,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/analysis"
@@ -79,6 +80,12 @@ import (
 )
 
 func main() {
+	// Exit via a return code so the deferred profile writers always run;
+	// os.Exit here would truncate -cpuprofile/-memprofile output.
+	os.Exit(run())
+}
+
+func run() int {
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -89,8 +96,41 @@ func main() {
 	workers := fs.Int("workers", 0, "worker pool size, 0 = GOMAXPROCS (sweep, lifetime)")
 	listApps := fs.Bool("apps", false, "list registered scenario apps and exit (sweep)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of a table (lifetime)")
+	queue := fs.String("queue", "", `override every run's event queue: "wheel" or "heap" (sweep)`)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file (sweep, lifetime)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the command to this file (sweep, lifetime)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
+	}
+
+	// Profiling brackets the whole subcommand — world construction included —
+	// so a perf investigation starts from where the time actually goes
+	// instead of a guess about it.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quanto-trace: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quanto-trace: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quanto-trace: memprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // settle the live set so the profile shows retained heap
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "quanto-trace: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var err error
@@ -116,12 +156,12 @@ func main() {
 			for _, name := range scenario.Apps() {
 				fmt.Println(name)
 			}
-			return
+			return 0
 		}
 		if fs.NArg() != 1 {
 			usage()
 		}
-		err = sweep(fs.Arg(0), *workers)
+		err = sweep(fs.Arg(0), *workers, *queue)
 	case "lifetime":
 		if fs.NArg() != 1 {
 			usage()
@@ -132,15 +172,16 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quanto-trace: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
        quanto-trace merge OUT FILE...
-       quanto-trace sweep [-workers N] [-apps] FILE
-       quanto-trace lifetime [-workers N] [-json] FILE
+       quanto-trace sweep [-workers N] [-apps] [-queue wheel|heap] [-cpuprofile F] [-memprofile F] FILE
+       quanto-trace lifetime [-workers N] [-json] [-cpuprofile F] [-memprofile F] FILE
 FILE/OUT may be "-" for stdin/stdout`)
 	os.Exit(2)
 }
@@ -345,7 +386,7 @@ func analyze(r *trace.Reader) error {
 // streaming one JSON result line per run in matrix order and a final
 // aggregate line. The output bytes depend only on the matrix content — not
 // on the worker count or which run finishes first.
-func sweep(name string, workers int) error {
+func sweep(name string, workers int, queue string) error {
 	in, err := openIn(name)
 	if err != nil {
 		return err
@@ -358,6 +399,18 @@ func sweep(name string, workers int) error {
 	specs, err := scenario.ParseSpecOrMatrix(data)
 	if err != nil {
 		return err
+	}
+	if queue != "" {
+		// The queue is an implementation choice, excluded from ConfigKey, so
+		// overriding it cannot change any run's derived seeds or results —
+		// it only selects which scheduler executes them (differential perf
+		// and correctness runs against the heap baseline).
+		for i := range specs {
+			specs[i].Queue = queue
+			if err := specs[i].Validate(); err != nil {
+				return err
+			}
+		}
 	}
 	effective := workers
 	if effective <= 0 {

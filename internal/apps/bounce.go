@@ -45,6 +45,9 @@ type BounceConfig struct {
 	// PerNode, when set, adjusts each node's options after Base is copied
 	// (called with NodeA's and NodeB's ids).
 	PerNode func(id core.NodeID, o *mote.Options)
+	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
+	// "heap": the legacy binary-heap baseline). Results are identical.
+	Queue string
 }
 
 // DefaultBounceConfig matches the paper's setup: nodes 1 and 4.
@@ -62,7 +65,7 @@ func NewBounce(seed uint64, cfg BounceConfig) *Bounce {
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = 220 * units.Millisecond
 	}
-	w := mote.NewWorld(seed)
+	w := mote.NewWorldQueue(seed, cfg.Queue)
 	b := &Bounce{World: w, HoldTime: cfg.HoldTime}
 
 	ids := [2]core.NodeID{cfg.NodeA, cfg.NodeB}

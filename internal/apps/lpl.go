@@ -51,6 +51,9 @@ type LPLConfig struct {
 	// before Volts and the radio wiring are applied; nil selects
 	// mote.DefaultOptions.
 	Base *mote.Options
+	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
+	// "heap": the legacy binary-heap baseline). Results are identical.
+	Queue string
 }
 
 // DefaultLPLConfig reproduces the paper's experiment on the given channel.
@@ -72,7 +75,7 @@ func NewLPL(seed uint64, cfg LPLConfig) *LPL {
 	if cfg.CheckPeriod == 0 {
 		cfg.CheckPeriod = 500 * units.Millisecond
 	}
-	w := mote.NewWorld(seed)
+	w := mote.NewWorldQueue(seed, cfg.Queue)
 	opts := mote.DefaultOptions()
 	if cfg.Base != nil {
 		opts = *cfg.Base

@@ -33,7 +33,7 @@ func baseOptions(spec scenario.Spec) *mote.Options {
 }
 
 func buildBlink(spec scenario.Spec) (*scenario.Instance, error) {
-	w := mote.NewWorld(spec.Seed)
+	w := mote.NewWorldQueue(spec.Seed, spec.Queue)
 	n := w.AddNode(1, spec.MoteOptions())
 	b := NewBlink(n)
 	return &scenario.Instance{
@@ -70,6 +70,7 @@ func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
 		cfg.HoldTime = units.Ticks(spec.HoldTimeUS)
 	}
 	cfg.UseDMA = spec.UseDMA
+	cfg.Queue = spec.Queue
 	b := NewBounce(spec.Seed, cfg)
 	if err := spec.ApplySpatial(b.World); err != nil {
 		return nil, err
@@ -115,6 +116,7 @@ func buildLPL(spec scenario.Spec) (*scenario.Instance, error) {
 	if spec.WiFiGapUS > 0 {
 		cfg.WiFiGap = units.Ticks(spec.WiFiGapUS)
 	}
+	cfg.Queue = spec.Queue
 	l := NewLPL(spec.Seed, cfg)
 	return &scenario.Instance{
 		World: l.World,
@@ -146,6 +148,7 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 	if spec.PeriodUS > 0 {
 		cfg.Period = units.Ticks(spec.PeriodUS)
 	}
+	cfg.Queue = spec.Queue
 	r := NewRelay(spec.Seed, cfg)
 	if err := spec.ApplySpatial(r.World); err != nil {
 		return nil, err
@@ -174,6 +177,7 @@ func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
 	if spec.PeriodUS > 0 {
 		cfg.Period = units.Ticks(spec.PeriodUS)
 	}
+	cfg.Queue = spec.Queue
 	s := NewSenseSend(spec.Seed, cfg)
 	if err := spec.ApplySpatial(s.World); err != nil {
 		return nil, err
@@ -197,7 +201,7 @@ func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
 	// battery override key is "32", not "1".
 	opts := spec.MoteOptions()
 	spec.ApplyBattery(32, &opts)
-	tb := NewTimerBug(spec.Seed, spec.CalibrateDCO, opts)
+	tb := NewTimerBugQueue(spec.Seed, spec.Queue, spec.CalibrateDCO, opts)
 	return &scenario.Instance{
 		World: tb.World,
 		App:   tb,
@@ -224,7 +228,7 @@ func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
 	sender := spec.MoteOptions()
 	receiver := spec.MoteOptions()
 	spec.ApplyBattery(2, &receiver)
-	d := NewDMACompare(spec.Seed, spec.UseDMA, payload, startAt, sender, receiver)
+	d := NewDMACompareQueue(spec.Seed, spec.Queue, spec.UseDMA, payload, startAt, sender, receiver)
 	if err := spec.ApplySpatial(d.World); err != nil {
 		return nil, err
 	}

@@ -44,6 +44,9 @@ type RelayConfig struct {
 	// (node ids are 1..Hops). Lifetime scenarios use it to give individual
 	// hops different battery capacities.
 	PerNode func(id core.NodeID, o *mote.Options)
+	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
+	// "heap": the legacy binary-heap baseline). Results are identical.
+	Queue string
 }
 
 // DefaultRelayConfig builds a 3-hop line generating a packet per second.
@@ -59,7 +62,7 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 	if cfg.Period == 0 {
 		cfg.Period = units.Second
 	}
-	w := mote.NewWorld(seed)
+	w := mote.NewWorldQueue(seed, cfg.Queue)
 	r := &Relay{World: w, period: cfg.Period}
 
 	for i := 0; i < cfg.Hops; i++ {

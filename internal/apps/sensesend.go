@@ -43,6 +43,9 @@ type SenseSendConfig struct {
 	// PerNode, when set, adjusts each node's options after Base is copied
 	// (called with SensorNode's and BaseNode's ids).
 	PerNode func(id core.NodeID, o *mote.Options)
+	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
+	// "heap": the legacy binary-heap baseline). Results are identical.
+	Queue string
 }
 
 // DefaultSenseSendConfig samples every 5 seconds.
@@ -55,7 +58,7 @@ func NewSenseSend(seed uint64, cfg SenseSendConfig) *SenseSend {
 	if cfg.Period == 0 {
 		cfg.Period = 5 * units.Second
 	}
-	w := mote.NewWorld(seed)
+	w := mote.NewWorldQueue(seed, cfg.Queue)
 	s := &SenseSend{World: w}
 
 	mkOpts := func(id core.NodeID) mote.Options {

@@ -53,14 +53,28 @@ func (d *SingleActivityDevice) Bind(newActivity Label) {
 // circuitry while listening (Figure 6 of the paper).
 type MultiActivityDevice struct {
 	res ResourceID
-	set map[Label]struct{}
+	// set holds the current labels as a small slice: the set has a handful
+	// of entries at most, so a linear scan beats a map and membership churn
+	// (radio listen/unlisten on every node) reuses the slice's capacity
+	// instead of allocating.
+	set []Label
 	trk *Tracker
 }
 
 // NewMultiActivityDevice registers a multi-activity resource with an empty
 // activity set.
 func NewMultiActivityDevice(t *Tracker, res ResourceID) *MultiActivityDevice {
-	return &MultiActivityDevice{res: res, set: make(map[Label]struct{}), trk: t}
+	return &MultiActivityDevice{res: res, set: make([]Label, 0, 4), trk: t}
+}
+
+// index returns the position of activity in the set, or -1.
+func (d *MultiActivityDevice) index(activity Label) int {
+	for i, l := range d.set {
+		if l == activity {
+			return i
+		}
+	}
+	return -1
 }
 
 // Resource returns the device's resource id.
@@ -70,10 +84,10 @@ func (d *MultiActivityDevice) Resource() ResourceID { return d.res }
 // already present is an error, mirroring the error_t return in the paper's
 // interface.
 func (d *MultiActivityDevice) Add(activity Label) error {
-	if _, ok := d.set[activity]; ok {
+	if d.index(activity) >= 0 {
 		return fmt.Errorf("core: activity %v already on resource %d", activity, d.res)
 	}
-	d.set[activity] = struct{}{}
+	d.set = append(d.set, activity)
 	d.trk.Log(EntryActivityAdd, d.res, uint16(activity))
 	d.trk.notifyActivity(EntryActivityAdd, d.res, activity)
 	return nil
@@ -81,10 +95,11 @@ func (d *MultiActivityDevice) Add(activity Label) error {
 
 // Remove deletes activity from the device's current set.
 func (d *MultiActivityDevice) Remove(activity Label) error {
-	if _, ok := d.set[activity]; !ok {
+	i := d.index(activity)
+	if i < 0 {
 		return fmt.Errorf("core: activity %v not on resource %d", activity, d.res)
 	}
-	delete(d.set, activity)
+	d.set = append(d.set[:i], d.set[i+1:]...)
 	d.trk.Log(EntryActivityRemove, d.res, uint16(activity))
 	d.trk.notifyActivity(EntryActivityRemove, d.res, activity)
 	return nil
@@ -92,8 +107,7 @@ func (d *MultiActivityDevice) Remove(activity Label) error {
 
 // Has reports whether activity is in the current set.
 func (d *MultiActivityDevice) Has(activity Label) bool {
-	_, ok := d.set[activity]
-	return ok
+	return d.index(activity) >= 0
 }
 
 // Count returns the size of the current activity set.

@@ -24,10 +24,11 @@ package core
 
 import "fmt"
 
-// NodeID identifies a node in the network. The paper encodes activity labels
-// as 16-bit integers split between node id and activity id, "sufficient for
-// networks of up to 256 nodes with 256 distinct activity ids".
-type NodeID uint8
+// NodeID identifies a node in the network. The simulator supports dense ids
+// well beyond the paper's 256-node deployments (the scaling benchmarks run
+// 10k-node worlds); only the on-wire activity Label keeps the paper's packed
+// 8-bit origin field, so label origins alias modulo 256 on larger networks.
+type NodeID uint32
 
 // ActivityID is the node-scoped, statically defined identifier of an
 // activity.
@@ -41,11 +42,15 @@ const (
 
 // Label is an activity label: the pair <origin node : activity id> packed in
 // 16 bits, carried on packets and through every control-flow deferral point.
+// The paper's encoding is "sufficient for networks of up to 256 nodes with
+// 256 distinct activity ids"; we keep the 12-byte wire format, so on networks
+// larger than 256 nodes the origin field carries the node id modulo 256.
 type Label uint16
 
-// MkLabel builds the label for activity id starting at node origin.
+// MkLabel builds the label for activity id starting at node origin. Origins
+// above 255 wrap: the wire format dedicates 8 bits to the origin.
 func MkLabel(origin NodeID, id ActivityID) Label {
-	return Label(uint16(origin)<<8 | uint16(id))
+	return Label(uint16(origin&0xFF)<<8 | uint16(id))
 }
 
 // Origin returns the node where the labeled activity started.

@@ -108,12 +108,20 @@ type Kernel struct {
 	running   bool
 	dead      bool
 
-	tasks []task
+	// tasks is a drain-in-place queue: exit() walks it by index instead of
+	// re-slicing, and resets it once empty so the backing array is reused.
+	tasks    []task
+	taskHead int
+
+	// pumpFn / vtimerFn are the recurring scheduler callbacks, created once
+	// so the idle-post and compare-timer hot paths never allocate closures.
+	pumpFn   func()
+	vtimerFn func()
 
 	nextActID core.ActivityID
 
 	timers       []*Timer
-	compareEvent *sim.Event
+	compareEvent sim.Handle
 	timerIRQ     *IRQ
 
 	dcoIRQ *IRQ
@@ -136,8 +144,14 @@ func New(s *sim.Simulator, node core.NodeID, dict *core.Dictionary, opts Options
 		opts:      opts,
 		costs:     opts.Costs,
 		nextActID: 2, // 0 = Idle, 1 = VTimer
-		rng:       sim.NewRNG(seed ^ (uint64(node) << 32)),
+		// Pre-size the task queue: boot posts on a fresh kernel must not
+		// each grow a tiny slice (the queue rarely holds more than a few
+		// entries, and drain keeps the capacity).
+		tasks: make([]task, 0, 8),
+		rng:   sim.NewRNG(seed ^ (uint64(node) << 32)),
 	}
+	k.pumpFn = k.pumped
+	k.vtimerFn = k.vtimerFired
 	return k
 }
 
@@ -238,6 +252,7 @@ func (k *Kernel) Running() bool { return k.running }
 func (k *Kernel) Kill() {
 	k.dead = true
 	k.tasks = nil
+	k.taskHead = 0
 	if k.compareEvent.Scheduled() {
 		k.Sim.Cancel(k.compareEvent)
 	}
@@ -264,13 +279,16 @@ func (k *Kernel) enter() {
 // exit drains the task queue, returns the CPU to its idle activity, and puts
 // it to sleep.
 func (k *Kernel) exit() {
-	for len(k.tasks) > 0 {
-		t := k.tasks[0]
-		k.tasks = k.tasks[1:]
+	for k.taskHead < len(k.tasks) {
+		t := k.tasks[k.taskHead]
+		k.tasks[k.taskHead] = task{} // drop the closure reference
+		k.taskHead++
 		k.CPUAct.Set(t.label)
 		k.Spend(k.costs.TaskDispatch)
 		t.fn()
 	}
+	k.tasks = k.tasks[:0]
+	k.taskHead = 0
 	k.CPUAct.SetIdle()
 	k.CPUState.Set(k.opts.SleepState)
 	k.busyUntil = k.localNow
@@ -302,20 +320,23 @@ func (k *Kernel) pump() {
 	if k.busyUntil > at {
 		at = k.busyUntil
 	}
-	k.Sim.Schedule(at, sim.PrioTask, func() {
-		if k.running || k.dead {
-			return // a concurrent wake-up already drained the queue
-		}
-		if k.Sim.Now() < k.busyUntil {
-			k.pump()
-			return
-		}
-		if len(k.tasks) == 0 {
-			return
-		}
-		k.enter()
-		k.exit()
-	})
+	k.Sim.Schedule(at, sim.PrioTask, k.pumpFn)
+}
+
+// pumped is the wake-up event body (k.pumpFn).
+func (k *Kernel) pumped() {
+	if k.running || k.dead {
+		return // a concurrent wake-up already drained the queue
+	}
+	if k.Sim.Now() < k.busyUntil {
+		k.pump()
+		return
+	}
+	if k.taskHead >= len(k.tasks) {
+		return
+	}
+	k.enter()
+	k.exit()
 }
 
 // Boot runs fn at time zero in handler context under the idle activity; node
@@ -341,6 +362,11 @@ type IRQ struct {
 	k     *Kernel
 	Proxy core.Label
 	Name  string
+
+	// dispatch is the shared Raise callback: the handler rides along as the
+	// event argument (func values are pointer-shaped, so boxing one into an
+	// `any` does not allocate), keeping interrupt scheduling closure-free.
+	dispatch func(any)
 }
 
 // NewIRQ defines an interrupt source; name appears in timelines
@@ -349,19 +375,21 @@ type IRQ struct {
 func (k *Kernel) NewIRQ(name string) *IRQ {
 	label := k.DefineActivity(name)
 	k.Dict.MarkProxy(label)
-	return &IRQ{k: k, Proxy: label, Name: name}
+	irq := &IRQ{k: k, Proxy: label, Name: name}
+	irq.dispatch = func(handler any) {
+		irq.k.dispatchIRQ(irq, handler.(func()))
+	}
+	return irq
 }
 
 // Raise schedules the interrupt to fire at absolute time at. The returned
 // event can be canceled while pending.
-func (irq *IRQ) Raise(at units.Ticks, handler func()) *sim.Event {
-	return irq.k.Sim.Schedule(at, sim.PrioIRQ, func() {
-		irq.k.dispatchIRQ(irq, handler)
-	})
+func (irq *IRQ) Raise(at units.Ticks, handler func()) sim.Handle {
+	return irq.k.Sim.ScheduleArg(at, sim.PrioIRQ, irq.dispatch, handler)
 }
 
 // RaiseAfter schedules the interrupt d ticks from now.
-func (irq *IRQ) RaiseAfter(d units.Ticks, handler func()) *sim.Event {
+func (irq *IRQ) RaiseAfter(d units.Ticks, handler func()) sim.Handle {
 	return irq.Raise(irq.k.Sim.Now()+d, handler)
 }
 
@@ -379,7 +407,7 @@ func (k *Kernel) dispatchIRQ(irq *IRQ, handler func()) {
 		if t := k.Sim.Now(); t > at {
 			at = t
 		}
-		k.Sim.Schedule(at, sim.PrioIRQ, func() { k.dispatchIRQ(irq, handler) })
+		k.Sim.ScheduleArg(at, sim.PrioIRQ, irq.dispatch, handler)
 		return
 	}
 	k.enter()

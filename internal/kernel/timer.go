@@ -87,7 +87,7 @@ func (k *Kernel) scheduleCompare() {
 	if now := k.Sim.Now(); next < now {
 		next = now
 	}
-	k.compareEvent = k.timerIRQ.Raise(next, k.vtimerFired)
+	k.compareEvent = k.timerIRQ.Raise(next, k.vtimerFn)
 }
 
 // vtimerFired is the hardware timer interrupt handler: it runs under the

@@ -64,6 +64,13 @@ type Frame struct {
 	Airtime units.Ticks // transmission duration
 	Payload any         // link-layer packet (an *am.Packet in this repo)
 	SentAt  units.Ticks
+
+	// actIdx is the frame's slot in Medium.active while on the air (-1
+	// otherwise), making expiry a swap-remove instead of a linear scan.
+	actIdx int32
+	// pend is the spatial layer's per-receiver fate record; nil under the
+	// broadcast model or once the frame has been finalized.
+	pend *pendingFrame
 }
 
 // Receiver is the radio-side interface for frame delivery.
@@ -92,11 +99,22 @@ type Medium struct {
 
 	sp *spatial // nil: legacy broadcast propagation
 
+	// expireFn / finalizeFn are the shared per-frame event callbacks; the
+	// frame rides along as the event argument so transmitting allocates no
+	// closures.
+	expireFn   func(any)
+	finalizeFn func(any)
+
 	frames uint64
 }
 
 // New creates an empty medium on simulator s.
-func New(s *sim.Simulator) *Medium { return &Medium{s: s} }
+func New(s *sim.Simulator) *Medium {
+	m := &Medium{s: s}
+	m.expireFn = func(arg any) { m.expire(arg.(*Frame)) }
+	m.finalizeFn = func(arg any) { m.sp.finalize(arg.(*Frame)) }
+	return m
+}
 
 // Register adds a receiver (a node's radio).
 func (m *Medium) Register(r Receiver) {
@@ -135,8 +153,9 @@ func (m *Medium) Frames() uint64 { return m.frames }
 func (m *Medium) Transmit(f *Frame) {
 	f.SentAt = m.s.Now()
 	m.frames++
+	f.actIdx = int32(len(m.active))
 	m.active = append(m.active, f)
-	m.s.Schedule(f.SentAt+f.Airtime, sim.PrioHardware, func() { m.expire(f) })
+	m.s.ScheduleArg(f.SentAt+f.Airtime, sim.PrioHardware, m.expireFn, f)
 	if m.sp != nil {
 		m.transmitSpatial(f)
 		return
@@ -149,13 +168,20 @@ func (m *Medium) Transmit(f *Frame) {
 	}
 }
 
+// expire swap-removes a finished frame from the active list. Order within
+// active does not matter: energy queries sum exact integers and collision
+// contests are pairwise-independent, so removal order cannot change results.
 func (m *Medium) expire(f *Frame) {
-	for i, g := range m.active {
-		if g == f {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			return
-		}
+	i := int(f.actIdx)
+	if i < 0 || i >= len(m.active) || m.active[i] != f {
+		return
 	}
+	last := len(m.active) - 1
+	m.active[i] = m.active[last]
+	m.active[i].actIdx = int32(i)
+	m.active[last] = nil
+	m.active = m.active[:last]
+	f.actIdx = -1
 }
 
 // EnergyOn reports the normalized interference+traffic energy present on an

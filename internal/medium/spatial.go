@@ -188,6 +188,11 @@ const (
 // is on the air: parallel slices over the transmitter's neighbor list (so
 // ids are sorted and lookups are a binary search, no per-frame maps). rssi
 // is kept for capture contests against later frames.
+//
+// ids and rssi alias the neighbor index's CSR rows directly — if the index
+// is rebuilt mid-flight the old arrays stay alive through these references —
+// and state comes from a free list, so steady-state transmission allocates
+// nothing. pendingFrames hang off Frame.pend rather than a map.
 type pendingFrame struct {
 	ids   []core.NodeID
 	rssi  []float64
@@ -203,12 +208,37 @@ func (pf *pendingFrame) find(dst core.NodeID) int {
 	return -1
 }
 
-// neighbor is one precomputed in-range link.
+// neighbor is one precomputed in-range link (build-time scratch; the index
+// itself stores links column-wise).
 type neighbor struct {
 	id   core.NodeID
 	rcv  Receiver
 	rssi float64
 	prr  float64
+}
+
+// nbrIndex is the neighbor index in CSR (compressed sparse row) form: node
+// src's in-range links, sorted by destination id, occupy columns
+// [offs[row], offs[row+1]) of the parallel ids/rcvs/rssi/prr arrays. The
+// struct-of-arrays layout keeps a transmitter's whole neighbor walk — the
+// inner loop of every spatial transmission — in a few contiguous cache
+// lines.
+type nbrIndex struct {
+	rows map[core.NodeID]int32
+	offs []int32
+	ids  []core.NodeID
+	rcvs []Receiver
+	rssi []float64
+	prr  []float64
+}
+
+// row returns the column range of src's neighbor list.
+func (ix *nbrIndex) row(src core.NodeID) (int32, int32) {
+	r, ok := ix.rows[src]
+	if !ok {
+		return 0, 0
+	}
+	return ix.offs[r], ix.offs[r+1]
 }
 
 // linkKey identifies a directed link.
@@ -233,14 +263,46 @@ type LinkStat struct {
 
 // spatial is the medium's spatial-propagation state.
 type spatial struct {
-	cfg     SpatialConfig
-	rng     *sim.RNG
-	pos     map[core.NodeID]Position
-	nbrs    map[core.NodeID][]neighbor // nil: rebuild from receivers+pos
-	pending map[*Frame]*pendingFrame
-	tally   map[linkKey]*linkTally
+	cfg SpatialConfig
+	rng *sim.RNG
+	pos map[core.NodeID]Position
+	nbr *nbrIndex // nil: rebuild from receivers+pos
+
+	// pfFree recycles pendingFrame records (their state buffers keep their
+	// capacity). tally deliberately stays a map: frames still in flight
+	// across an index rebuild must fold into the same accumulators.
+	pfFree []*pendingFrame
+	tally  map[linkKey]*linkTally
 
 	collisions uint64
+}
+
+// getPending returns a pendingFrame with an n-element zeroed state buffer.
+func (sp *spatial) getPending(n int) *pendingFrame {
+	var pf *pendingFrame
+	if k := len(sp.pfFree); k > 0 {
+		pf = sp.pfFree[k-1]
+		sp.pfFree = sp.pfFree[:k-1]
+	} else {
+		pf = &pendingFrame{}
+	}
+	if cap(pf.state) < n {
+		pf.state = make([]rxOutcome, n)
+	} else {
+		pf.state = pf.state[:n]
+		for i := range pf.state {
+			pf.state[i] = 0
+		}
+	}
+	return pf
+}
+
+// putPending releases a finalized pendingFrame, dropping its CSR aliases so
+// a retired index can be collected.
+func (sp *spatial) putPending(pf *pendingFrame) {
+	pf.ids = nil
+	pf.rssi = nil
+	sp.pfFree = append(sp.pfFree, pf)
 }
 
 // EnableSpatial switches the medium from the broadcast model to the spatial
@@ -250,9 +312,8 @@ type spatial struct {
 func (m *Medium) EnableSpatial(cfg SpatialConfig) {
 	if m.sp == nil {
 		m.sp = &spatial{
-			pos:     make(map[core.NodeID]Position),
-			pending: make(map[*Frame]*pendingFrame),
-			tally:   make(map[linkKey]*linkTally),
+			pos:   make(map[core.NodeID]Position),
+			tally: make(map[linkKey]*linkTally),
 		}
 	}
 	m.sp.cfg = cfg.withDefaults()
@@ -326,7 +387,7 @@ func (m *Medium) Delivered(f *Frame, node core.NodeID) bool {
 	if m.sp == nil {
 		return true
 	}
-	pf := m.sp.pending[f]
+	pf := f.pend
 	if pf == nil {
 		return true
 	}
@@ -334,65 +395,136 @@ func (m *Medium) Delivered(f *Frame, node core.NodeID) bool {
 	return i >= 0 && pf.state[i] == rxReceiving
 }
 
+// WarmNeighbors builds the neighbor index now instead of lazily at the
+// first transmission. The build consumes no randomness and its result is a
+// pure function of the registered receivers and their positions, so warming
+// changes no outcome — it only moves a large one-time cost (tens of
+// milliseconds at 10k nodes) out of the simulation run and into world
+// construction. A no-op under the broadcast model or when the index is
+// already current.
+func (m *Medium) WarmNeighbors() {
+	if m.sp != nil && m.sp.nbr == nil && len(m.receivers) > 0 {
+		m.buildNeighbors()
+	}
+}
+
 // invalidateNeighbors drops the neighbor index so the next transmission
 // rebuilds it (topology changed: node added, died, or moved).
 func (m *Medium) invalidateNeighbors() {
 	if m.sp != nil {
-		m.sp.nbrs = nil
+		m.sp.nbr = nil
 	}
+}
+
+// packCell packs a grid cell coordinate pair into one map key.
+func packCell(cx, cy int64) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
 }
 
 // buildNeighbors constructs every node's sorted in-range neighbor list in
 // O(nodes · neighbors) using a uniform grid hash with TxRangeM-sized cells:
 // all links of length <= TxRangeM lie within the 3×3 cell block around the
 // transmitter.
+//
+// The build itself is struct-of-arrays: positions are snapshotted into flat
+// slices once (one map lookup per node, not per candidate pair), cells chain
+// through an index-linked list instead of per-bucket slices, and each row —
+// a dozen entries — is ordered with an insertion sort, so a 10k-node build
+// is a few milliseconds of contiguous float math rather than a hash lookup
+// per pair. Node ids are unique, so the sorted row is the same permutation
+// whatever the sort algorithm: the RNG stream and event sequence downstream
+// are unchanged.
 func (m *Medium) buildNeighbors() {
 	sp := m.sp
 	cell := sp.cfg.TxRangeM
-	type cellKey struct{ cx, cy int64 }
-	buckets := make(map[cellKey][]Receiver, len(m.receivers))
-	at := func(r Receiver) Position {
-		p, ok := sp.pos[r.Node()]
+	n := len(m.receivers)
+
+	// Snapshot id/position per receiver index.
+	ids := make([]core.NodeID, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	cells := make([]uint64, n)
+	for i, r := range m.receivers {
+		id := r.Node()
+		p, ok := sp.pos[id]
 		if !ok {
-			panic(fmt.Sprintf("medium: node %d has no position; SetPosition every registered node before transmitting", r.Node()))
+			panic(fmt.Sprintf("medium: node %d has no position; SetPosition every registered node before transmitting", id))
 		}
-		return p
+		ids[i], xs[i], ys[i] = id, p.X, p.Y
+		cells[i] = packCell(int64(math.Floor(p.X/cell)), int64(math.Floor(p.Y/cell)))
 	}
-	key := func(p Position) cellKey {
-		return cellKey{int64(math.Floor(p.X / cell)), int64(math.Floor(p.Y / cell))}
+	// Chained cell buckets: head maps a cell to its first receiver index,
+	// next links the rest. No per-bucket allocations.
+	head := make(map[uint64]int32, n)
+	next := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		j, ok := head[cells[i]]
+		if !ok {
+			j = -1
+		}
+		next[i] = j
+		head[cells[i]] = int32(i)
 	}
-	for _, r := range m.receivers {
-		k := key(at(r))
-		buckets[k] = append(buckets[k], r)
+
+	ix := &nbrIndex{
+		rows: make(map[core.NodeID]int32, n),
+		offs: make([]int32, 1, n+1),
 	}
-	sp.nbrs = make(map[core.NodeID][]neighbor, len(m.receivers))
-	for _, r := range m.receivers {
-		src := r.Node()
-		p := at(r)
-		k := key(p)
-		var list []neighbor
+	rangeSq := sp.cfg.TxRangeM * sp.cfg.TxRangeM
+	var list []neighbor // per-row scratch, reused across rows
+	for i := 0; i < n; i++ {
+		px, py := xs[i], ys[i]
+		cx := int64(math.Floor(px / cell))
+		cy := int64(math.Floor(py / cell))
+		list = list[:0]
 		for dx := int64(-1); dx <= 1; dx++ {
 			for dy := int64(-1); dy <= 1; dy++ {
-				for _, c := range buckets[cellKey{k.cx + dx, k.cy + dy}] {
-					if c == r {
+				for j := headOr(head, packCell(cx+dx, cy+dy)); j >= 0; j = next[j] {
+					if int(j) == i {
 						continue
 					}
-					d := p.Distance(at(c))
-					if d > sp.cfg.TxRangeM {
+					ddx, ddy := xs[j]-px, ys[j]-py
+					d2 := ddx*ddx + ddy*ddy
+					if d2 > rangeSq {
 						continue
 					}
-					rssi := sp.cfg.RSSI(d)
+					rssi := sp.cfg.RSSI(math.Sqrt(d2))
 					list = append(list, neighbor{
-						id: c.Node(), rcv: c, rssi: rssi, prr: sp.cfg.PRR(rssi),
+						id: ids[j], rcv: m.receivers[j], rssi: rssi, prr: sp.cfg.PRR(rssi),
 					})
 				}
 			}
 		}
 		// Sorted delivery order keeps the RNG stream and the scheduled
-		// event sequence independent of bucket iteration order.
-		sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
-		sp.nbrs[src] = list
+		// event sequence independent of bucket iteration order. Rows are
+		// small; insertion sort is exact, deterministic, and alloc-free.
+		for a := 1; a < len(list); a++ {
+			nb := list[a]
+			b := a - 1
+			for b >= 0 && list[b].id > nb.id {
+				list[b+1] = list[b]
+				b--
+			}
+			list[b+1] = nb
+		}
+		for _, nb := range list {
+			ix.ids = append(ix.ids, nb.id)
+			ix.rcvs = append(ix.rcvs, nb.rcv)
+			ix.rssi = append(ix.rssi, nb.rssi)
+			ix.prr = append(ix.prr, nb.prr)
+		}
+		ix.rows[ids[i]] = int32(len(ix.offs) - 1)
+		ix.offs = append(ix.offs, int32(len(ix.ids)))
 	}
+	sp.nbr = ix
+}
+
+// headOr returns the bucket head for key, or -1 when the cell is empty.
+func headOr(head map[uint64]int32, key uint64) int32 {
+	if j, ok := head[key]; ok {
+		return j
+	}
+	return -1
 }
 
 // transmitSpatial delivers frame f under the spatial model: walk the
@@ -403,25 +535,23 @@ func (m *Medium) buildNeighbors() {
 // after every receiver's own end-of-frame event) folds it into link tallies.
 func (m *Medium) transmitSpatial(f *Frame) {
 	sp := m.sp
-	if sp.nbrs == nil {
+	if sp.nbr == nil {
 		m.buildNeighbors()
 	}
 	now := f.SentAt
-	nbrs := sp.nbrs[f.Src]
-	pf := &pendingFrame{
-		ids:   make([]core.NodeID, len(nbrs)),
-		rssi:  make([]float64, len(nbrs)),
-		state: make([]rxOutcome, len(nbrs)),
-	}
-	sp.pending[f] = pf
-	for i, nb := range nbrs {
-		pf.ids[i] = nb.id
-		pf.rssi[i] = nb.rssi
+	lo, hi := sp.nbr.row(f.Src)
+	pf := sp.getPending(int(hi - lo))
+	pf.ids = sp.nbr.ids[lo:hi]
+	pf.rssi = sp.nbr.rssi[lo:hi]
+	f.pend = pf
+	for i := 0; i < int(hi-lo); i++ {
+		nbRSSI := pf.rssi[i]
+		nbID := pf.ids[i]
 		// Exactly one channel-loss draw per candidate receiver, whatever
 		// the collision outcome, so the RNG stream depends only on the
 		// frame/topology sequence.
 		st := rxReceiving
-		if sp.rng.Float64() >= nb.prr {
+		if sp.rng.Float64() >= sp.nbr.prr[lo+int32(i)] {
 			st = rxFailPRR
 		}
 		// MAC state next: a radio that is off, mid-transmission, or tuned
@@ -429,7 +559,7 @@ func (m *Medium) transmitSpatial(f *Frame) {
 		// there was no reception to lose. Only a synced radio can have one
 		// corrupted. (A frame that syncs here and collides below is caught
 		// at drain time by the Delivered query.)
-		if st == rxReceiving && !nb.rcv.FrameStart(f) {
+		if st == rxReceiving && !sp.nbr.rcvs[lo+int32(i)].FrameStart(f) {
 			st = rxMissed
 		}
 		// Contest against every frame still on the air (half-open airtime
@@ -444,23 +574,23 @@ func (m *Medium) transmitSpatial(f *Frame) {
 			if g.SentAt > now || now >= g.SentAt+g.Airtime {
 				continue
 			}
-			pg := sp.pending[g]
+			pg := g.pend
 			if pg == nil {
 				continue
 			}
-			gi := pg.find(nb.id)
+			gi := pg.find(nbID)
 			if gi < 0 {
 				continue // the ongoing frame is inaudible at this receiver
 			}
 			grssi := pg.rssi[gi]
 			switch {
-			case grssi-nb.rssi >= sp.cfg.CaptureDB:
+			case grssi-nbRSSI >= sp.cfg.CaptureDB:
 				// The ongoing frame is strong enough to survive; the new
 				// one arrives mid-frame under it and is lost here.
 				if st == rxReceiving {
 					st = rxCollided
 				}
-			case nb.rssi-grssi >= sp.cfg.CaptureDB:
+			case nbRSSI-grssi >= sp.cfg.CaptureDB:
 				// The new frame captures the receiver; the ongoing one is
 				// corrupted (if it was still decodable).
 				if pg.state[gi] == rxReceiving {
@@ -486,17 +616,17 @@ func (m *Medium) transmitSpatial(f *Frame) {
 	// Finalize after every end-of-frame event scheduled above: receivers
 	// query Delivered exactly at SentAt+Airtime, and this event was
 	// scheduled after theirs, so the verdict is still available.
-	m.s.Schedule(now+f.Airtime, sim.PrioHardware, func() { sp.finalize(f) })
+	m.s.ScheduleArg(now+f.Airtime, sim.PrioHardware, m.finalizeFn, f)
 }
 
 // finalize folds a completed frame's per-receiver fates into the link
-// tallies and releases its tracking state.
+// tallies and releases its tracking state back to the pool.
 func (sp *spatial) finalize(f *Frame) {
-	pf := sp.pending[f]
+	pf := f.pend
 	if pf == nil {
 		return
 	}
-	delete(sp.pending, f)
+	f.pend = nil
 	for i, st := range pf.state {
 		k := linkKey{src: f.Src, dst: pf.ids[i]}
 		t := sp.tally[k]
@@ -512,4 +642,5 @@ func (sp *spatial) finalize(f *Frame) {
 			t.collisions++
 		}
 	}
+	sp.putPending(pf)
 }

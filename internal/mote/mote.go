@@ -145,17 +145,27 @@ type World struct {
 	OnDeath func(n *Node, at units.Ticks)
 
 	seed uint64
+	byID map[core.NodeID]*Node
 }
 
 // NewWorld creates an empty world. The seed drives every stochastic element
 // (backoff, interference, measurement ripple) deterministically.
 func NewWorld(seed uint64) *World {
-	s := sim.New()
+	return NewWorldQueue(seed, "")
+}
+
+// NewWorldQueue is NewWorld with an explicit event-queue selection ("" or
+// "wheel" for the timer wheel, "heap" for the legacy binary heap kept as the
+// differential-testing baseline). Both queues dispatch identically, so the
+// choice changes performance, never results.
+func NewWorldQueue(seed uint64, queue string) *World {
+	s := sim.NewWithQueue(sim.QueueKind(queue))
 	return &World{
 		Sim:    s,
 		Medium: medium.New(s),
 		Dict:   core.NewDictionary(),
 		seed:   seed,
+		byID:   make(map[core.NodeID]*Node),
 	}
 }
 
@@ -265,6 +275,10 @@ func (w *World) AddNode(id core.NodeID, opts Options) *Node {
 	}
 
 	w.Nodes = append(w.Nodes, n)
+	if w.byID == nil {
+		w.byID = make(map[core.NodeID]*Node)
+	}
+	w.byID[id] = n
 	return n
 }
 
@@ -319,6 +333,12 @@ func (w *World) ConfigureSpatial(cfg medium.SpatialConfig, positions []medium.Po
 	for i, n := range w.Nodes {
 		w.Medium.SetPosition(n.ID, positions[i])
 	}
+	// Build the neighbor index now, while the world is being constructed,
+	// rather than lazily inside the run at the first transmission — the
+	// index is position-determined and consumes no randomness, so this only
+	// moves cost, never results. (A mid-run topology change still
+	// invalidates and rebuilds lazily.)
+	w.Medium.WarmNeighbors()
 	return nil
 }
 
@@ -340,14 +360,7 @@ func (w *World) StampEnd() {
 }
 
 // Node returns the node with the given id, or nil.
-func (w *World) Node(id core.NodeID) *Node {
-	for _, n := range w.Nodes {
-		if n.ID == id {
-			return n
-		}
-	}
-	return nil
-}
+func (w *World) Node(id core.NodeID) *Node { return w.byID[id] }
 
 // Run advances the simulation until the given time.
 func (w *World) Run(until units.Ticks) { w.Sim.Run(until) }

@@ -94,7 +94,13 @@ type Battery struct {
 	depleted bool
 	notified bool
 	diedAt   units.Ticks
-	check    *sim.Event
+	check    sim.Handle
+
+	// checkFn / notifyFn are the check-event callbacks, built once so the
+	// per-edge re-projection path does not allocate a fresh closure every
+	// time the board's draw changes.
+	checkFn  func()
+	notifyFn func()
 
 	onDepleted func(at units.Ticks)
 }
@@ -110,7 +116,17 @@ func NewBattery(capacityUAH float64, harv Harvester, s *sim.Simulator) *Battery 
 		panic("power: battery capacity must be positive")
 	}
 	uc := capacityUAH * MicroCoulombsPerMicroAmpHour
-	return &Battery{capUC: uc, chargeUC: uc, epsUC: uc * 1e-12, harv: harv, s: s}
+	b := &Battery{capUC: uc, chargeUC: uc, epsUC: uc * 1e-12, harv: harv, s: s}
+	b.checkFn = func() {
+		b.advance(b.s.Now())
+		if b.depleted {
+			b.notify()
+			return
+		}
+		b.project()
+	}
+	b.notifyFn = b.notify
+	return b
 }
 
 // OnDepleted installs the depletion callback, invoked exactly once from a
@@ -277,14 +293,7 @@ func (b *Battery) scheduleCheck(at units.Ticks) {
 	if now := b.s.Now(); at < now {
 		at = now
 	}
-	b.check = b.s.Schedule(at, sim.PrioHardware, func() {
-		b.advance(b.s.Now())
-		if b.depleted {
-			b.notify()
-			return
-		}
-		b.project()
-	})
+	b.check = b.s.Schedule(at, sim.PrioHardware, b.checkFn)
 }
 
 // scheduleNotify arms the one-shot depletion notification.
@@ -292,7 +301,7 @@ func (b *Battery) scheduleNotify(at units.Ticks) {
 	if now := b.s.Now(); at < now {
 		at = now
 	}
-	b.check = b.s.Schedule(at, sim.PrioHardware, b.notify)
+	b.check = b.s.Schedule(at, sim.PrioHardware, b.notifyFn)
 }
 
 func (b *Battery) notify() {

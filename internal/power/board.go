@@ -19,13 +19,32 @@ type CurrentListener interface {
 // flowing from the supply. It implements core.PowerStateListener, so wiring
 // it to a node's Tracker makes every driver-signaled state change
 // immediately visible to the meters.
+//
+// Sink state is held in parallel slices sorted by resource id (a node has a
+// handful of sinks, so lookups are a short binary search) with the per-sink
+// draw cached at edge time: the publish path — run on every power-state edge
+// of every node — touches three small contiguous arrays instead of two maps.
 type Board struct {
-	volts  units.Volts
-	draws  DrawTable
-	now    func() units.Ticks
-	states map[core.ResourceID]core.PowerState
-	order  []core.ResourceID // stable iteration for deterministic sums
-	dead   bool
+	volts units.Volts
+	draws DrawTable
+	now   func() units.Ticks
+	dead  bool
+
+	// Parallel, sorted by order[i]: the resource ids, their recorded states,
+	// and the cached draw for (order[i], states[i]). Summing draw[i] in index
+	// order is exactly the old "resource-id order" sum, so aggregate floats
+	// are bit-identical to the map-based implementation.
+	order  []core.ResourceID
+	states []core.PowerState
+	draw   []units.MicroAmps
+
+	// lut is the draw table compiled to a dense (res, state) grid at
+	// construction: the edge path runs on every power-state change of every
+	// node, and an array index there replaces a map hash. Pairs beyond the
+	// compiled dimensions (never produced by the platform tables) fall back
+	// to the map.
+	lut       []units.MicroAmps
+	lutStates int
 
 	listeners []CurrentListener
 }
@@ -33,32 +52,72 @@ type Board struct {
 // NewBoard creates a board powered at volts using the given physical draw
 // table; now supplies simulated time.
 func NewBoard(volts units.Volts, draws DrawTable, now func() units.Ticks) *Board {
-	return &Board{
-		volts:  volts,
-		draws:  draws,
-		now:    now,
-		states: make(map[core.ResourceID]core.PowerState),
+	b := &Board{
+		volts: volts,
+		draws: draws,
+		now:   now,
 	}
+	var maxRes, maxState int
+	for k := range draws {
+		if int(k.Res) > maxRes {
+			maxRes = int(k.Res)
+		}
+		if int(k.State) > maxState {
+			maxState = int(k.State)
+		}
+	}
+	if len(draws) > 0 {
+		b.lutStates = maxState + 1
+		b.lut = make([]units.MicroAmps, (maxRes+1)*b.lutStates)
+		for k, v := range draws {
+			b.lut[int(k.Res)*b.lutStates+int(k.State)] = v
+		}
+	}
+	return b
+}
+
+// lookupDraw returns the draw for (res, st) via the compiled grid.
+func (b *Board) lookupDraw(res core.ResourceID, st core.PowerState) units.MicroAmps {
+	r, s := int(res), int(st)
+	if s < b.lutStates && r*b.lutStates < len(b.lut) {
+		return b.lut[r*b.lutStates+s]
+	}
+	return b.draws.Draw(res, st)
 }
 
 // Volts returns the supply voltage.
 func (b *Board) Volts() units.Volts { return b.volts }
+
+// find returns the index of res in the sorted sink arrays, or (insertion
+// point, false).
+func (b *Board) find(res core.ResourceID) (int, bool) {
+	i := sort.Search(len(b.order), func(i int) bool { return b.order[i] >= res })
+	return i, i < len(b.order) && b.order[i] == res
+}
 
 // setState records (res, st), registering the sink if unknown, and reports
 // whether this is a real edge — a new sink, or a registered sink actually
 // changing state. Idempotent re-signals are absorbed here so every caller
 // shares one copy of the dedup semantics.
 func (b *Board) setState(res core.ResourceID, st core.PowerState) bool {
-	if prev, ok := b.states[res]; ok {
-		if prev == st {
+	i, ok := b.find(res)
+	if ok {
+		if b.states[i] == st {
 			return false
 		}
-		b.states[res] = st
+		b.states[i] = st
+		b.draw[i] = b.lookupDraw(res, st)
 		return true
 	}
-	b.order = append(b.order, res)
-	sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
-	b.states[res] = st
+	b.order = append(b.order, 0)
+	b.states = append(b.states, 0)
+	b.draw = append(b.draw, 0)
+	copy(b.order[i+1:], b.order[i:])
+	copy(b.states[i+1:], b.states[i:])
+	copy(b.draw[i+1:], b.draw[i:])
+	b.order[i] = res
+	b.states[i] = st
+	b.draw[i] = b.lookupDraw(res, st)
 	return true
 }
 
@@ -96,8 +155,8 @@ func (b *Board) Current() units.MicroAmps {
 		return 0
 	}
 	var total units.MicroAmps
-	for _, res := range b.order {
-		total += b.draws.Draw(res, b.states[res])
+	for _, d := range b.draw {
+		total += d
 	}
 	return total
 }
@@ -118,7 +177,12 @@ func (b *Board) Shutdown() {
 func (b *Board) Dead() bool { return b.dead }
 
 // State returns the recorded power state of res.
-func (b *Board) State(res core.ResourceID) core.PowerState { return b.states[res] }
+func (b *Board) State(res core.ResourceID) core.PowerState {
+	if i, ok := b.find(res); ok {
+		return b.states[i]
+	}
+	return 0
+}
 
 func (b *Board) publish() {
 	t := b.now()

@@ -94,6 +94,19 @@ type Radio struct {
 
 	receive func(*medium.Frame)
 
+	// sfdFn / rxEndFn are the per-frame receive-path callbacks, created once
+	// (the frame travels as the event argument) so every reception schedules
+	// without allocating closures.
+	sfdFn   func()
+	rxEndFn func(any)
+
+	// startupFn is the cached TurnOn completion handler; the initiating
+	// label and done callback ride in these fields instead of a fresh
+	// closure per power-up.
+	startupFn    func()
+	startupLabel core.Label
+	startupDone  func()
+
 	ccaSamples   uint64
 	ccaPositives uint64
 }
@@ -121,6 +134,31 @@ func New(k *kernel.Kernel, med *medium.Medium, b *power.Board, cfg Config) *Radi
 	b.AddSink(power.ResRadioCtl, power.RadioCtlOff)
 	b.AddSink(power.ResRadioRx, power.RadioRxOff)
 	b.AddSink(power.ResRadioTx, power.RadioTxOff)
+	r.sfdFn = func() {
+		r.k.Spend(45) // note SFD timestamp, prime the driver state machine
+	}
+	r.rxEndFn = func(arg any) {
+		f := arg.(*medium.Frame)
+		if !r.listening {
+			return // receiver shut off mid-frame; frame lost
+		}
+		if !r.med.Delivered(f, r.k.Node()) {
+			return // corrupted by a colliding transmission (spatial medium)
+		}
+		r.drainRXFIFO(f)
+	}
+	r.startupFn = func() {
+		// The driver stored the initiating activity; the startup interrupt
+		// binds its proxy time to it.
+		r.k.CPUAct.Bind(r.startupLabel)
+		r.psCtl.Set(power.RadioCtlIdle)
+		r.on = true
+		r.k.Spend(40)
+		if done := r.startupDone; done != nil {
+			r.startupDone = nil
+			r.k.Post(done)
+		}
+	}
 	med.Register(r)
 	return r
 }
@@ -168,20 +206,11 @@ func (r *Radio) TurnOn(done func()) {
 		}
 		return
 	}
-	label := r.k.CPUAct.Get()
+	r.startupLabel = r.k.CPUAct.Get()
+	r.startupDone = done
 	r.psReg.Set(power.RadioRegOn)
 	r.k.Spend(30)
-	r.ctlIRQ.RaiseAfter(StartupTime, func() {
-		// The driver stored the initiating activity; the startup interrupt
-		// binds its proxy time to it.
-		r.k.CPUAct.Bind(label)
-		r.psCtl.Set(power.RadioCtlIdle)
-		r.on = true
-		r.k.Spend(40)
-		if done != nil {
-			r.k.Post(done)
-		}
-	})
+	r.ctlIRQ.RaiseAfter(StartupTime, r.startupFn)
 }
 
 // ForceOff models a brownout: the transceiver loses power without any driver
@@ -304,19 +333,22 @@ func (r *Radio) transferToFIFO(n int, label core.Label, next func()) {
 		return
 	}
 	chunks := (n + SPIChunkBytes - 1) / SPIChunkBytes
-	var step func(i int)
-	step = func(i int) {
-		r.spiIRQ.RaiseAfter(units.Ticks(SPIChunkBytes)*SPIByteTime, func() {
-			r.k.Spend(SPIHandlerCost)
-			if i+1 < chunks {
-				step(i + 1)
-				return
-			}
-			r.k.CPUAct.Bind(label)
-			next()
-		})
+	// One handler closure serves every chunk of the transfer: it advances a
+	// captured counter and re-arms itself, instead of allocating a fresh
+	// closure pair per 2-byte chunk.
+	i := 0
+	var step func()
+	step = func() {
+		r.k.Spend(SPIHandlerCost)
+		i++
+		if i < chunks {
+			r.spiIRQ.RaiseAfter(units.Ticks(SPIChunkBytes)*SPIByteTime, step)
+			return
+		}
+		r.k.CPUAct.Bind(label)
+		next()
 	}
-	step(0)
+	r.spiIRQ.RaiseAfter(units.Ticks(SPIChunkBytes)*SPIByteTime, step)
 }
 
 func (r *Radio) backoffAndTransmit(f *medium.Frame, label core.Label, done func()) {
@@ -364,21 +396,11 @@ func (r *Radio) FrameStart(f *medium.Frame) bool {
 	}
 	now := r.k.Sim.Now()
 	// Start-of-frame delimiter interrupt.
-	r.rxProxy.Raise(now, func() {
-		r.k.Spend(45) // note SFD timestamp, prime the driver state machine
-	})
+	r.rxProxy.Raise(now, r.sfdFn)
 	// Frame lands in the RXFIFO when its last bit arrives; then the drain
 	// begins. The drain runs under the bus proxy; Active Messages binds
 	// everything once it decodes the activity field.
-	r.k.Sim.Schedule(now+f.Airtime, sim.PrioHardware, func() {
-		if !r.listening {
-			return // receiver shut off mid-frame; frame lost
-		}
-		if !r.med.Delivered(f, r.k.Node()) {
-			return // corrupted by a colliding transmission (spatial medium)
-		}
-		r.drainRXFIFO(f)
-	})
+	r.k.Sim.ScheduleArg(now+f.Airtime, sim.PrioHardware, r.rxEndFn, f)
 	return true
 }
 
@@ -399,19 +421,20 @@ func (r *Radio) drainRXFIFO(f *medium.Frame) {
 		return
 	}
 	chunks := (f.Bytes + SPIChunkBytes - 1) / SPIChunkBytes
-	var step func(i int)
-	step = func(i int) {
-		r.spiIRQ.RaiseAfter(units.Ticks(SPIChunkBytes)*SPIByteTime, func() {
-			r.k.Spend(SPIHandlerCost)
-			if i+1 < chunks {
-				step(i + 1)
-				return
-			}
-			// Last chunk: hand the packet to the link layer as a task. The
-			// task inherits the bus proxy label; the AM layer will bind it
-			// to the packet's activity.
-			r.k.Post(deliver)
-		})
+	// Single self-re-arming handler, as in transferToFIFO.
+	i := 0
+	var step func()
+	step = func() {
+		r.k.Spend(SPIHandlerCost)
+		i++
+		if i < chunks {
+			r.spiIRQ.RaiseAfter(units.Ticks(SPIChunkBytes)*SPIByteTime, step)
+			return
+		}
+		// Last chunk: hand the packet to the link layer as a task. The
+		// task inherits the bus proxy label; the AM layer will bind it
+		// to the packet's activity.
+		r.k.Post(deliver)
 	}
-	step(0)
+	r.spiIRQ.RaiseAfter(units.Ticks(SPIChunkBytes)*SPIByteTime, step)
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/medium"
 	"repro/internal/mote"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -70,6 +71,14 @@ type Spec struct {
 	// Volts overrides the supply voltage in volts. Default 3.0 V (lpl:
 	// 3.35 V, the paper's regulator). Honored by: all apps.
 	Volts float64 `json:"volts,omitempty"`
+	// Queue selects the simulator's event-queue implementation: "" or
+	// "wheel" for the hierarchical timer wheel (the default), "heap" for
+	// the legacy binary heap kept as a differential-testing baseline. Both
+	// dispatch identically, so this knob changes performance, never
+	// results — it is excluded from ConfigKey so a wheel run and a heap run
+	// of the same configuration derive the same seeds and produce
+	// byte-identical traces. Honored by: all apps.
+	Queue string `json:"queue,omitempty"`
 
 	// CalibrateDCO enables the 16 Hz digital-oscillator calibration
 	// interrupt, the TinyOS default the TimerBug case study exposes.
@@ -395,6 +404,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario: unknown death_policy %q (want %q or %q)",
 			s.DeathPolicy, DeathPolicyHaltNode, DeathPolicyHaltWorld)
 	}
+	if !sim.ValidQueue(sim.QueueKind(s.Queue)) {
+		return fmt.Errorf("scenario: unknown queue %q (want %q or %q)",
+			s.Queue, sim.QueueWheel, sim.QueueHeap)
+	}
 	switch s.Placement {
 	case "", PlacementLine, PlacementGrid, PlacementRGG:
 	default:
@@ -433,6 +446,7 @@ func (s *Spec) ConfigKey() string {
 	c := *s
 	c.Seed = 0
 	c.Name = ""
+	c.Queue = "" // implementation choice, not configuration: results match
 	b, err := json.Marshal(&c)
 	if err != nil {
 		// Spec is a plain struct of scalars; this cannot fail.
