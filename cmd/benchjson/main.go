@@ -94,7 +94,13 @@ func main() {
 			line := fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", d.Name, d.Dimension, d.Base, d.Current, 100*d.Delta)
 			switch {
 			case d.Missing:
-				fmt.Printf("::warning title=bench-compare::%s: in baseline but not in this run\n", d.Name)
+				// A benchmark in the baseline but absent from the fresh run
+				// means the CI bench invocation and the committed artifact
+				// have drifted apart (renamed benchmark, narrowed -bench
+				// regex) — the compare would silently stop guarding it, so
+				// treat it as a failure, not a warning.
+				bad = true
+				fmt.Printf("::error title=bench-compare::%s: in baseline but not in this run\n", d.Name)
 			case d.Delta > *threshold && failDims[d.Dimension]:
 				bad = true
 				fmt.Printf("::error title=bench-regression::%s\n", line)

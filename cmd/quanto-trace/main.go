@@ -97,6 +97,7 @@ func run() int {
 	listApps := fs.Bool("apps", false, "list registered scenario apps and exit (sweep)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of a table (lifetime)")
 	queue := fs.String("queue", "", `override every run's event queue: "wheel" or "heap" (sweep)`)
+	partitions := fs.Int("partitions", 0, "override every run's partition count for parallel stepping, 0 = keep spec values (sweep, lifetime)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file (sweep, lifetime)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the command to this file (sweep, lifetime)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -161,12 +162,12 @@ func run() int {
 		if fs.NArg() != 1 {
 			usage()
 		}
-		err = sweep(fs.Arg(0), *workers, *queue)
+		err = sweep(fs.Arg(0), *workers, *queue, *partitions)
 	case "lifetime":
 		if fs.NArg() != 1 {
 			usage()
 		}
-		err = lifetime(fs.Arg(0), *workers, *jsonOut)
+		err = lifetime(fs.Arg(0), *workers, *jsonOut, *partitions)
 	default:
 		usage()
 	}
@@ -180,8 +181,8 @@ func run() int {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
        quanto-trace merge OUT FILE...
-       quanto-trace sweep [-workers N] [-apps] [-queue wheel|heap] [-cpuprofile F] [-memprofile F] FILE
-       quanto-trace lifetime [-workers N] [-json] [-cpuprofile F] [-memprofile F] FILE
+       quanto-trace sweep [-workers N] [-apps] [-queue wheel|heap] [-partitions K] [-cpuprofile F] [-memprofile F] FILE
+       quanto-trace lifetime [-workers N] [-json] [-partitions K] [-cpuprofile F] [-memprofile F] FILE
 FILE/OUT may be "-" for stdin/stdout`)
 	os.Exit(2)
 }
@@ -386,7 +387,32 @@ func analyze(r *trace.Reader) error {
 // streaming one JSON result line per run in matrix order and a final
 // aggregate line. The output bytes depend only on the matrix content — not
 // on the worker count or which run finishes first.
-func sweep(name string, workers int, queue string) error {
+// applyOverrides rewrites every spec's queue and/or partition count. Both
+// are implementation choices excluded from ConfigKey, so overriding them
+// cannot change any run's derived seeds or results — the queue selects
+// which scheduler data structure executes them (differential perf and
+// correctness runs against the heap baseline), and the partition count
+// selects how many goroutines step the world (parallel runs are
+// byte-identical to serial ones by construction).
+func applyOverrides(specs []scenario.Spec, queue string, partitions int) error {
+	if queue == "" && partitions <= 0 {
+		return nil
+	}
+	for i := range specs {
+		if queue != "" {
+			specs[i].Queue = queue
+		}
+		if partitions > 0 {
+			specs[i].Partitions = partitions
+		}
+		if err := specs[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sweep(name string, workers int, queue string, partitions int) error {
 	in, err := openIn(name)
 	if err != nil {
 		return err
@@ -400,17 +426,8 @@ func sweep(name string, workers int, queue string) error {
 	if err != nil {
 		return err
 	}
-	if queue != "" {
-		// The queue is an implementation choice, excluded from ConfigKey, so
-		// overriding it cannot change any run's derived seeds or results —
-		// it only selects which scheduler executes them (differential perf
-		// and correctness runs against the heap baseline).
-		for i := range specs {
-			specs[i].Queue = queue
-			if err := specs[i].Validate(); err != nil {
-				return err
-			}
-		}
+	if err := applyOverrides(specs, queue, partitions); err != nil {
+		return err
 	}
 	effective := workers
 	if effective <= 0 {
@@ -457,7 +474,7 @@ func sweep(name string, workers int, queue string) error {
 // stderr-free stdout only in -json mode; the default output is the rendered
 // table. Either form depends only on the matrix content, never the worker
 // count.
-func lifetime(name string, workers int, jsonOut bool) error {
+func lifetime(name string, workers int, jsonOut bool, partitions int) error {
 	in, err := openIn(name)
 	if err != nil {
 		return err
@@ -469,6 +486,9 @@ func lifetime(name string, workers int, jsonOut bool) error {
 	}
 	specs, err := scenario.ParseSpecOrMatrix(data)
 	if err != nil {
+		return err
+	}
+	if err := applyOverrides(specs, "", partitions); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "lifetime: %d runs\n", len(specs))

@@ -96,6 +96,7 @@ func TestDocsMentionNewLayers(t *testing.T) {
 	for _, want := range []string{
 		"internal/power", "internal/scenario", "internal/analysis",
 		"Battery", "determinism", "Sink",
+		"internal/sim/partition.go", "lookahead",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q", want)

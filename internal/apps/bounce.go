@@ -48,6 +48,9 @@ type BounceConfig struct {
 	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
 	// "heap": the legacy binary-heap baseline). Results are identical.
 	Queue string
+	// World, when set, is the pre-built (possibly partitioned) world to
+	// populate; nil builds a serial world from seed and Queue.
+	World *mote.World
 }
 
 // DefaultBounceConfig matches the paper's setup: nodes 1 and 4.
@@ -65,7 +68,10 @@ func NewBounce(seed uint64, cfg BounceConfig) *Bounce {
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = 220 * units.Millisecond
 	}
-	w := mote.NewWorldQueue(seed, cfg.Queue)
+	w := cfg.World
+	if w == nil {
+		w = mote.NewWorldQueue(seed, cfg.Queue)
+	}
 	b := &Bounce{World: w, HoldTime: cfg.HoldTime}
 
 	ids := [2]core.NodeID{cfg.NodeA, cfg.NodeB}

@@ -71,6 +71,11 @@ func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
 	}
 	cfg.UseDMA = spec.UseDMA
 	cfg.Queue = spec.Queue
+	w, err := spec.NewWorld(2)
+	if err != nil {
+		return nil, err
+	}
+	cfg.World = w
 	b := NewBounce(spec.Seed, cfg)
 	if err := spec.ApplySpatial(b.World); err != nil {
 		return nil, err
@@ -148,7 +153,13 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 	if spec.PeriodUS > 0 {
 		cfg.Period = units.Ticks(spec.PeriodUS)
 	}
+	cfg.Origins = spec.Origins
 	cfg.Queue = spec.Queue
+	w, err := spec.NewWorld(cfg.Hops)
+	if err != nil {
+		return nil, err
+	}
+	cfg.World = w
 	r := NewRelay(spec.Seed, cfg)
 	if err := spec.ApplySpatial(r.World); err != nil {
 		return nil, err
@@ -178,6 +189,11 @@ func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
 		cfg.Period = units.Ticks(spec.PeriodUS)
 	}
 	cfg.Queue = spec.Queue
+	w, err := spec.NewWorld(2)
+	if err != nil {
+		return nil, err
+	}
+	cfg.World = w
 	s := NewSenseSend(spec.Seed, cfg)
 	if err := spec.ApplySpatial(s.World); err != nil {
 		return nil, err
@@ -228,7 +244,11 @@ func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
 	sender := spec.MoteOptions()
 	receiver := spec.MoteOptions()
 	spec.ApplyBattery(2, &receiver)
-	d := NewDMACompareQueue(spec.Seed, spec.Queue, spec.UseDMA, payload, startAt, sender, receiver)
+	w, err := spec.NewWorld(2)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDMACompareWorld(w, spec.UseDMA, payload, startAt, sender, receiver)
 	if err := spec.ApplySpatial(d.World); err != nil {
 		return nil, err
 	}

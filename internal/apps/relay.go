@@ -24,19 +24,32 @@ type Relay struct {
 	World *mote.World
 	Nodes []*mote.Node
 
-	Act core.Label // the origin's activity ("Flood")
+	Act core.Label // the first origin's activity ("Flood")
 
-	period    units.Ticks
-	generated uint64
+	period units.Ticks
+	// generated/dropped are per-node slots (indexed by line position), not
+	// shared counters: under a partitioned world each node's events run on
+	// its partition's goroutine during parallel windows, so every counter an
+	// app touches from node context must be single-writer. The accessors sum.
+	generated []uint64
+	dropped   []uint64
 	delivered uint64
-	dropped   uint64
 }
 
 // RelayConfig parameterizes the line network.
 type RelayConfig struct {
 	Hops    int // number of nodes in the line (>= 2)
 	Channel int
-	Period  units.Ticks // packet generation period at the origin
+	Period  units.Ticks // packet generation period at each origin
+	// Origins is how many nodes at the head of the line generate traffic
+	// (nodes 1..Origins, each sending toward the line's end); 0 selects the
+	// classic single origin. More origins spread offered load across the
+	// topology — the workload shape that gives a partitioned world parallel
+	// work.
+	Origins int
+	// World, when set, is the pre-built (possibly partitioned) world to
+	// populate; nil builds a serial world from seed and Queue.
+	World *mote.World
 	// Base, when set, seeds each node's mote options before the radio
 	// wiring is applied; nil selects mote.DefaultOptions.
 	Base *mote.Options
@@ -62,8 +75,23 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 	if cfg.Period == 0 {
 		cfg.Period = units.Second
 	}
-	w := mote.NewWorldQueue(seed, cfg.Queue)
-	r := &Relay{World: w, period: cfg.Period}
+	if cfg.Origins < 1 {
+		cfg.Origins = 1
+	}
+	if cfg.Origins > cfg.Hops-1 {
+		// The final node is the sink; it never originates.
+		cfg.Origins = cfg.Hops - 1
+	}
+	w := cfg.World
+	if w == nil {
+		w = mote.NewWorldQueue(seed, cfg.Queue)
+	}
+	r := &Relay{
+		World:     w,
+		period:    cfg.Period,
+		generated: make([]uint64, cfg.Hops),
+		dropped:   make([]uint64, cfg.Hops),
+	}
 
 	for i := 0; i < cfg.Hops; i++ {
 		opts := mote.DefaultOptions()
@@ -78,10 +106,42 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 		r.Nodes = append(r.Nodes, w.AddNode(core.NodeID(i+1), opts))
 	}
 
-	origin := r.Nodes[0]
-	r.Act = origin.K.DefineActivity("Flood")
+	// Every origin flies its own "Flood" activity so the butterfly-effect
+	// accounting attributes each packet's multi-hop work to its true source.
+	acts := make([]core.Label, cfg.Origins)
+	for o := 0; o < cfg.Origins; o++ {
+		acts[o] = r.Nodes[o].K.DefineActivity("Flood")
+	}
+	r.Act = acts[0]
 
-	// Intermediate and final hops.
+	// startGen arms node i's periodic packet generation under its Flood
+	// activity; called from the node's TurnOn completion.
+	startGen := func(i int) {
+		n := r.Nodes[i]
+		gen := n.K.NewTimer(func() {
+			r.generated[i]++
+			if n.Radio.Busy() {
+				// Offered load beyond the radio's capacity: the
+				// previous flood is still leaving the antenna.
+				r.dropped[i]++
+				return
+			}
+			out := &am.Packet{Dest: r.Nodes[i+1].ID, Type: RelayAMType, Payload: make([]byte, 8)}
+			n.AM.Send(out, nil)
+		})
+		n.K.CPUAct.Set(acts[i])
+		// Each origin runs the same period at its own phase (origin 0 keeps
+		// the classic un-shifted start). Synchronized origins would put many
+		// independent transmits on the same tick, where their global order
+		// depends on scheduling history that a partitioned run cannot always
+		// reconstruct; distinct phases keep multi-origin runs deterministic
+		// under any partition count — and are what real deployments look
+		// like anyway.
+		gen.StartPeriodicAfter(r.period+(units.Ticks(i)*1009)%r.period, r.period)
+		n.K.CPUAct.SetIdle()
+	}
+
+	// Intermediate and final hops (some of which may also originate).
 	for i := 1; i < len(r.Nodes); i++ {
 		i := i
 		n := r.Nodes[i]
@@ -102,7 +162,7 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 			next := r.Nodes[i+1].ID
 			n.K.Post(func() {
 				if n.Radio.Busy() {
-					r.dropped++
+					r.dropped[i]++
 					return
 				}
 				out := &am.Packet{Dest: next, Type: RelayAMType, Payload: p.Payload}
@@ -110,28 +170,21 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 			})
 		})
 		n.K.Boot(func() {
-			n.Radio.TurnOn(func() { n.Radio.StartListening() })
+			n.Radio.TurnOn(func() {
+				n.Radio.StartListening()
+				if i < cfg.Origins {
+					startGen(i)
+				}
+			})
 		})
 	}
 
-	// Origin generates packets periodically under the Flood activity.
-	origin.K.Boot(func() {
-		origin.Radio.TurnOn(func() {
-			origin.Radio.StartListening()
-			gen := origin.K.NewTimer(func() {
-				r.generated++
-				if origin.Radio.Busy() {
-					// Offered load beyond the radio's capacity: the
-					// previous flood is still leaving the antenna.
-					r.dropped++
-					return
-				}
-				out := &am.Packet{Dest: r.Nodes[1].ID, Type: RelayAMType, Payload: make([]byte, 8)}
-				origin.AM.Send(out, nil)
-			})
-			origin.K.CPUAct.Set(r.Act)
-			gen.StartPeriodic(r.period)
-			origin.K.CPUAct.SetIdle()
+	// The first origin boots last, preserving the classic single-origin
+	// boot sequence (and therefore its traces) exactly.
+	r.Nodes[0].K.Boot(func() {
+		r.Nodes[0].Radio.TurnOn(func() {
+			r.Nodes[0].Radio.StartListening()
+			startGen(0)
 		})
 	})
 	return r
@@ -143,11 +196,22 @@ func (r *Relay) Run(d units.Ticks) {
 	r.World.StampEnd()
 }
 
-// Stats returns packets generated at the origin and delivered at the sink.
+// Stats returns packets generated across all origins and delivered at the
+// sink.
 func (r *Relay) Stats() (generated, delivered uint64) {
-	return r.generated, r.delivered
+	var gen uint64
+	for _, g := range r.generated {
+		gen += g
+	}
+	return gen, r.delivered
 }
 
 // Dropped returns packets discarded because a node's radio was still
 // transmitting the previous one (offered load beyond capacity).
-func (r *Relay) Dropped() uint64 { return r.dropped }
+func (r *Relay) Dropped() uint64 {
+	var d uint64
+	for _, n := range r.dropped {
+		d += n
+	}
+	return d
+}

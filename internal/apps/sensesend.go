@@ -46,6 +46,9 @@ type SenseSendConfig struct {
 	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
 	// "heap": the legacy binary-heap baseline). Results are identical.
 	Queue string
+	// World, when set, is the pre-built (possibly partitioned) world to
+	// populate; nil builds a serial world from seed and Queue.
+	World *mote.World
 }
 
 // DefaultSenseSendConfig samples every 5 seconds.
@@ -58,7 +61,10 @@ func NewSenseSend(seed uint64, cfg SenseSendConfig) *SenseSend {
 	if cfg.Period == 0 {
 		cfg.Period = 5 * units.Second
 	}
-	w := mote.NewWorldQueue(seed, cfg.Queue)
+	w := cfg.World
+	if w == nil {
+		w = mote.NewWorldQueue(seed, cfg.Queue)
+	}
 	s := &SenseSend{World: w}
 
 	mkOpts := func(id core.NodeID) mote.Options {

@@ -34,6 +34,11 @@ func (t *Timer) StartOneShot(d units.Ticks) { t.start(d, 0) }
 // now.
 func (t *Timer) StartPeriodic(period units.Ticks) { t.start(period, period) }
 
+// StartPeriodicAfter arms the timer to fire every period, first in d from
+// now — a phase-shifted StartPeriodic, so many nodes can share a period
+// without all firing on the same tick.
+func (t *Timer) StartPeriodicAfter(d, period units.Ticks) { t.start(d, period) }
+
 func (t *Timer) start(d, period units.Ticks) {
 	if d <= 0 {
 		d = 1

@@ -1,0 +1,137 @@
+package scenario_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	_ "repro/internal/apps" // registers the paper's workloads
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// TestPartitionTraceIdentity is the differential property test for the
+// partitioned parallel stepper: for every registered app, across seeds,
+// placements, multi-origin load, and battery deaths, a run split over K > 1
+// spatial partitions must produce byte-identical node traces (and identical
+// metrics) to the serial run of the same spec. Partitions, like Queue, is a
+// performance knob — this test is the proof. Run it under -race (CI does) and
+// it doubles as the data-race probe for the worker pool: any app state a
+// window touches cross-partition trips the detector even when the trace
+// happens to match.
+func TestPartitionTraceIdentity(t *testing.T) {
+	base := func(app string, dur units.Ticks) scenario.Spec {
+		return scenario.Spec{App: app, DurationUS: int64(dur)}
+	}
+	variants := []scenario.Spec{
+		// Apps that fall back to serial (single node, no placement, or
+		// halt-world) are still exercised: the fallback itself — returning
+		// the identical serial world — is part of the contract.
+		base("blink", 2*units.Second),
+		base("lpl", 2*units.Second),
+		base("timerbug", 2*units.Second),
+		func() scenario.Spec {
+			s := base("bounce", 2*units.Second)
+			s.Placement = scenario.PlacementLine
+			return s
+		}(),
+		func() scenario.Spec {
+			s := base("dma", units.Second)
+			s.Placement = scenario.PlacementLine
+			return s
+		}(),
+		func() scenario.Spec {
+			s := base("sensesend", 2*units.Second)
+			s.Placement = scenario.PlacementGrid
+			return s
+		}(),
+		// A line of relays with several origins: every border between
+		// spatially contiguous partitions carries traffic both ways, the
+		// cross-partition storm case.
+		func() scenario.Spec {
+			s := base("relay", 2*units.Second)
+			s.Nodes = 24
+			s.Origins = 8
+			s.PeriodUS = int64(200 * units.Millisecond)
+			s.Placement = scenario.PlacementLine
+			return s
+		}(),
+		// Random geometric placement: partition borders cut through
+		// irregular neighborhoods instead of a line's regular spacing.
+		func() scenario.Spec {
+			s := base("relay", units.Second)
+			s.Nodes = 16
+			s.Origins = 4
+			s.Placement = scenario.PlacementRGG
+			return s
+		}(),
+		// Mid-run battery deaths: depletion checks are marked events stepped
+		// serially at window boundaries, and a death rips a node out of the
+		// medium (unregister, force-off, pledge drop) while other partitions
+		// keep traffic in flight.
+		func() scenario.Spec {
+			s := base("relay", 4*units.Second)
+			s.Nodes = 12
+			s.Origins = 4
+			s.PeriodUS = int64(250 * units.Millisecond)
+			s.Placement = scenario.PlacementLine
+			s.BatteryUAH = 0.9
+			return s
+		}(),
+		// Halt-world deaths force the serial fallback; the run must still be
+		// identical with partitions requested.
+		func() scenario.Spec {
+			s := base("relay", 4*units.Second)
+			s.Nodes = 8
+			s.Placement = scenario.PlacementLine
+			s.BatteryUAH = 0.9
+			s.DeathPolicy = scenario.DeathPolicyHaltWorld
+			return s
+		}(),
+	}
+	// Every registered app must appear above: a new app cannot ship without
+	// joining the partition differential suite.
+	covered := make(map[string]bool)
+	for _, v := range variants {
+		covered[v.App] = true
+	}
+	for _, app := range scenario.Apps() {
+		if !covered[app] {
+			t.Errorf("registered app %q has no serial-vs-partitioned variant in this test", app)
+		}
+	}
+
+	for _, v := range variants {
+		for _, seed := range []uint64{1, 7} {
+			v := v
+			v.Seed = seed
+			name := fmt.Sprintf("%s/seed=%d/placement=%s", v.App, seed, v.Placement)
+			t.Run(name, func(t *testing.T) {
+				serial := v
+				serial.Partitions = 1
+				sb, sm := encodedTraces(t, serial)
+				for _, parts := range []int{2, 4} {
+					par := v
+					par.Partitions = parts
+					if par.ConfigKey() != serial.ConfigKey() {
+						t.Fatalf("partition count leaked into ConfigKey:\n%s\nvs\n%s",
+							par.ConfigKey(), serial.ConfigKey())
+					}
+					pb, pm := encodedTraces(t, par)
+					if !bytes.Equal(pb, sb) {
+						t.Fatalf("partitions=%d trace differs from serial (%d vs %d bytes)",
+							parts, len(pb), len(sb))
+					}
+					if len(pm) != len(sm) {
+						t.Fatalf("partitions=%d metric sets differ: %v vs %v", parts, pm, sm)
+					}
+					for k, svv := range sm {
+						if pv, ok := pm[k]; !ok || pv != svv {
+							t.Errorf("metric %q: serial %v partitions=%d %v", k, svv, parts, pm[k])
+						}
+					}
+				}
+			})
+		}
+	}
+}

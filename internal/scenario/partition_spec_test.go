@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestSpecNewWorldPartitioning pins when a spec actually yields a
+// partitioned world and when it falls back to serial.
+func TestSpecNewWorldPartitioning(t *testing.T) {
+	base := Spec{App: "relay", DurationUS: int64(units.Second), Nodes: 24,
+		Placement: PlacementLine, Partitions: 4}
+
+	cases := []struct {
+		name  string
+		mut   func(*Spec)
+		nodes int
+		want  int
+	}{
+		{"partitioned", func(s *Spec) {}, 24, 4},
+		{"serial-by-default", func(s *Spec) { s.Partitions = 0 }, 24, 1},
+		{"no-placement-falls-back", func(s *Spec) { s.Placement = "" }, 24, 1},
+		{"halt-world-falls-back", func(s *Spec) {
+			s.BatteryUAH = 1
+			s.DeathPolicy = DeathPolicyHaltWorld
+		}, 24, 1},
+		{"clamped-to-nodes", func(s *Spec) { s.Partitions = 100 }, 24, 24},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			tc.mut(&s)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			w, err := s.NewWorld(tc.nodes)
+			if err != nil {
+				t.Fatalf("NewWorld: %v", err)
+			}
+			if got := w.Partitions(); got != tc.want {
+				t.Errorf("Partitions() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPartitionAssignContiguous checks the spatial assignment: balanced
+// sizes, and every partition's node set occupies a contiguous range of the
+// cell-sorted order (so regions are compact patches of the plane).
+func TestPartitionAssignContiguous(t *testing.T) {
+	s := Spec{App: "relay", DurationUS: int64(units.Second), Nodes: 100,
+		Placement: PlacementRGG, Seed: 42}
+	pos, err := s.Positions(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 8} {
+		assign := partitionAssign(pos, s.effectiveTxRange(), k)
+		counts := make([]int, k)
+		for _, p := range assign {
+			if p < 0 || p >= k {
+				t.Fatalf("k=%d: partition index %d out of range", k, p)
+			}
+			counts[p]++
+		}
+		for p, c := range counts {
+			if c < 100/k || c > 100/k+1 {
+				t.Errorf("k=%d: partition %d has %d nodes, want balanced ~%d", k, p, c, 100/k)
+			}
+		}
+	}
+}
+
+// TestPartitionedRunWallClock is a coarse liveness guard: a partitioned run
+// must terminate promptly (no barrier deadlock, no horizon stall) even when
+// pledges, deaths, and cross-border traffic interleave.
+func TestPartitionedRunWallClock(t *testing.T) {
+	s := Spec{App: "relay", DurationUS: int64(2 * units.Second), Nodes: 24,
+		Origins: 8, Placement: PlacementLine, Partitions: 4, Seed: 3,
+		PeriodUS: int64(200 * units.Millisecond)}
+	in, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { in.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("partitioned run did not finish within 60s (stalled scheduler?)")
+	}
+}

@@ -79,6 +79,18 @@ type Spec struct {
 	// of the same configuration derive the same seeds and produce
 	// byte-identical traces. Honored by: all apps.
 	Queue string `json:"queue,omitempty"`
+	// Partitions splits the world's nodes across that many spatial-region
+	// partition simulators stepped in parallel under conservative lookahead
+	// (sim.Group). A partitioned run dispatches the exact same events in the
+	// exact same order as a serial one, so — like Queue — this knob changes
+	// wall-clock time, never results, and is excluded from ConfigKey. 0 or 1
+	// selects the serial stepper. Configurations the partition scheduler
+	// cannot honor fall back to serial silently: specs without a placement
+	// (the broadcast medium gains nothing from spatial regions),
+	// death_policy "halt-world" (the halt must take effect at the exact
+	// depletion event, which only the serial stepper guarantees), and worlds
+	// with fewer nodes than partitions (clamped). Honored by: all apps.
+	Partitions int `json:"partitions,omitempty"`
 
 	// CalibrateDCO enables the 16 Hz digital-oscillator calibration
 	// interrupt, the TinyOS default the TimerBug case study exposes.
@@ -102,6 +114,13 @@ type Spec struct {
 	// 0 selects the app default. Honored by: relay (packet generation,
 	// default 1 s), sensesend (sampling, default 5 s).
 	PeriodUS int64 `json:"period_us,omitempty"`
+	// Origins is how many of the relay line's nodes generate traffic (nodes
+	// 1..Origins, each sending toward the line's end). 0 selects 1, the
+	// classic single-origin flood; larger values spread offered load across
+	// the topology, which is what gives a partitioned run (Partitions > 1)
+	// parallel work to find. Unlike Partitions this changes the workload, so
+	// it stays in ConfigKey. Honored by: relay.
+	Origins int `json:"origins,omitempty"`
 	// HoldTimeUS is how long a Bounce node keeps a packet before sending it
 	// back, in microseconds. 0 selects the paper's 220 ms. Honored by:
 	// bounce.
@@ -272,6 +291,63 @@ func (s *Spec) ApplySpatial(w *mote.World) error {
 	}, pos)
 }
 
+// NewWorld constructs the world an app builder should populate for n nodes:
+// a plain serial world, or — when the spec requests partitions and the
+// configuration supports them — a partitioned world whose nodes are assigned
+// to spatially contiguous regions. The assignment sorts nodes by their
+// placement's grid cell (cell size = the delivery cutoff, the same hash the
+// neighbor index uses) and cuts the sorted order into equal-size chunks, so
+// each partition holds a compact patch of the plane and border traffic stays
+// low. The fallbacks mirror the Partitions field's documentation: no
+// placement, halt-world deaths, or more partitions than nodes all degrade to
+// fewer (or one) partitions rather than erroring, because Partitions is a
+// performance knob, not configuration.
+func (s *Spec) NewWorld(n int) (*mote.World, error) {
+	k := s.Partitions
+	if k > n {
+		k = n
+	}
+	if k <= 1 || s.Placement == "" || s.DeathPolicy == DeathPolicyHaltWorld {
+		return mote.NewWorldQueue(s.Seed, s.Queue), nil
+	}
+	pos, err := s.Positions(n)
+	if err != nil {
+		return nil, err
+	}
+	return mote.NewWorldPartitioned(s.Seed, s.Queue, k, partitionAssign(pos, s.effectiveTxRange(), k)), nil
+}
+
+// partitionAssign maps node creation order to a partition index by sorting
+// nodes in (cellX, cellY, x, y, index) order over a grid of cell-sized
+// squares and chunking the sorted sequence into k balanced groups.
+func partitionAssign(pos []medium.Position, cell float64, k int) []int {
+	idx := make([]int, len(pos))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pos[idx[a]], pos[idx[b]]
+		if ca, cb := math.Floor(pa.X/cell), math.Floor(pb.X/cell); ca != cb {
+			return ca < cb
+		}
+		if ca, cb := math.Floor(pa.Y/cell), math.Floor(pb.Y/cell); ca != cb {
+			return ca < cb
+		}
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return idx[a] < idx[b]
+	})
+	assign := make([]int, len(pos))
+	for rank, i := range idx {
+		assign[i] = rank * k / len(pos)
+	}
+	return assign
+}
+
 // HarvestSpec is the declarative form of a power.Harvester. All currents are
 // microamps, all durations simulated microseconds.
 type HarvestSpec struct {
@@ -404,6 +480,12 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario: unknown death_policy %q (want %q or %q)",
 			s.DeathPolicy, DeathPolicyHaltNode, DeathPolicyHaltWorld)
 	}
+	if s.Partitions < 0 {
+		return fmt.Errorf("scenario: partitions must be >= 0, got %d", s.Partitions)
+	}
+	if s.Origins < 0 {
+		return fmt.Errorf("scenario: origins must be >= 0, got %d", s.Origins)
+	}
 	if !sim.ValidQueue(sim.QueueKind(s.Queue)) {
 		return fmt.Errorf("scenario: unknown queue %q (want %q or %q)",
 			s.Queue, sim.QueueWheel, sim.QueueHeap)
@@ -446,7 +528,8 @@ func (s *Spec) ConfigKey() string {
 	c := *s
 	c.Seed = 0
 	c.Name = ""
-	c.Queue = "" // implementation choice, not configuration: results match
+	c.Queue = ""     // implementation choice, not configuration: results match
+	c.Partitions = 0 // likewise: parallel runs are byte-identical to serial
 	b, err := json.Marshal(&c)
 	if err != nil {
 		// Spec is a plain struct of scalars; this cannot fail.

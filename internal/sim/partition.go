@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLookahead is the conservative scheduling lookahead a Group assumes
+// when none is configured: no event may announce (pledge) a shared-medium
+// transmit fewer than this many ticks ahead of itself. The default matches
+// the radio's minimum CSMA backoff; mote.World overrides it explicitly so
+// the two constants cannot drift apart silently.
+const DefaultLookahead Ticks = 500
+
+// Group steps K partition simulators in parallel under conservative
+// synchronization, plus one shared simulator (the radio medium) that only
+// ever steps serially. It is the classic bounded-lag PDES loop:
+//
+//   - Between windows the coordinator merges the heads of all K+1 queues in
+//     (at, prio, birth) order — the same total order a single-queue run
+//     produces, with the scheduling-time birth stamp standing in for the
+//     global sequence number — and serially dispatches every event that is
+//     not safely parallel: shared-medium events, marked events (battery
+//     depletion, which can kill a node), and any event at or beyond the
+//     current horizon.
+//   - When the earliest event is an ordinary partition-local event strictly
+//     below the horizon, the worker pool runs every partition's local events
+//     up to (but excluding) the horizon concurrently.
+//
+// The horizon H is the earliest instant at which anything cross-partition
+// can happen: the earliest armed transmit pledge, capped by tmin+lookahead
+// (an event dispatched inside the window at tmin or later cannot pledge a
+// transmit before that). Everything a partition does below H is node-local
+// by construction — cross-partition interaction flows exclusively through
+// the shared medium, and every medium touch is pledged at least lookahead
+// ticks ahead — so the windows commute and the merged execution is
+// event-for-event equivalent to the serial one.
+//
+// Workers rendezvous with the coordinator through a spin barrier (an epoch
+// counter and a countdown), not channels: a big run opens tens of thousands
+// of windows and the barrier must cost nanoseconds, not microseconds.
+type Group struct {
+	doms   []*Simulator
+	shared *Simulator
+	// all is doms followed by shared: the merge scans it in order and keeps
+	// the first of equal keys, which puts the shared domain last on a full
+	// (at, prio, birth) tie. That is exactly where medium events must sit: a
+	// frame's finalize fires at the same instant, priority, and birth as the
+	// receivers' frame-end events, and the receivers must observe the frame
+	// before finalize retires it.
+	all []*Simulator
+
+	look   Ticks
+	prep   func(limit Ticks)
+	halted bool
+
+	// Spin-barrier state. limit and counts/panics are plain memory ordered
+	// by the epoch (publish) and pending (collect) atomics. Every worker
+	// joins every barrier — even ones with an empty window — because the
+	// countdown is the only happens-before edge that licenses the
+	// coordinator's next round of plain writes.
+	epoch   atomic.Int64
+	pending atomic.Int64
+	limit   Ticks
+	counts  []int64
+	panics  []any
+	quit    atomic.Bool
+	wg      sync.WaitGroup
+
+	// soloCount tallies events the coordinator stepped inline through the
+	// single-active-partition fast path (no barrier crossing).
+	soloCount int64
+}
+
+// NewGroup returns a Group of k partition simulators and one shared
+// simulator, all backed by the named queue implementation.
+func NewGroup(kind QueueKind, k int) *Group {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: group with %d partitions", k))
+	}
+	g := &Group{
+		doms:   make([]*Simulator, k),
+		shared: NewWithQueue(kind),
+		look:   DefaultLookahead,
+		counts: make([]int64, k),
+		panics: make([]any, k),
+	}
+	for i := range g.doms {
+		g.doms[i] = NewWithQueue(kind)
+	}
+	g.all = append(append(make([]*Simulator, 0, k+1), g.doms...), g.shared)
+	return g
+}
+
+// Partitions returns the number of partition simulators.
+func (g *Group) Partitions() int { return len(g.doms) }
+
+// Domain returns partition i's simulator.
+func (g *Group) Domain(i int) *Simulator { return g.doms[i] }
+
+// Shared returns the serial-only shared simulator (the medium's clock).
+func (g *Group) Shared() *Simulator { return g.shared }
+
+// SetLookahead sets the minimum pledge distance the workloads guarantee.
+func (g *Group) SetLookahead(d Ticks) {
+	if d < 1 {
+		panic("sim: lookahead must be positive")
+	}
+	g.look = d
+}
+
+// SetWindowPrep registers a hook the coordinator calls, serially, right
+// before each parallel window with the window's inclusive limit. The medium
+// uses it to pre-extend lazily generated interference state past everything
+// the window (and the busy-CPU clock overshoot inside it) can read, so the
+// windows stay mutation-free.
+func (g *Group) SetWindowPrep(fn func(limit Ticks)) { g.prep = fn }
+
+// Halt stops Run before the next window or serial event.
+func (g *Group) Halt() { g.halted = true }
+
+// Halted reports whether the group has been halted.
+func (g *Group) Halted() bool { return g.halted }
+
+// Pending reports the total number of queued events across all domains.
+func (g *Group) Pending() int {
+	n := 0
+	for _, s := range g.all {
+		n += s.Pending()
+	}
+	return n
+}
+
+// Run advances every domain until the queues drain past until or the group
+// is halted, and returns the number of events dispatched. Like
+// Simulator.Run, all clocks are left at until when the run completes by
+// reaching the horizon.
+func (g *Group) Run(until Ticks) int {
+	g.startWorkers()
+	defer g.stopWorkers()
+
+	serial := 0
+	for !g.halted {
+		e, di := g.minHead(until)
+		if e == nil {
+			break
+		}
+		h := g.horizon(e.at, until)
+		if !e.marked && di < len(g.doms) && e.at < h {
+			g.runWindows(h - 1)
+			continue
+		}
+		// Serial step in global merge order. Lift every clock first so a
+		// cross-partition schedule issued by this handler (a frame-end event
+		// on a receiver's queue, a medium expiry) is never in the receiving
+		// simulator's past.
+		g.liftAll(e.at)
+		g.all[di].stepHead()
+		serial++
+	}
+	if !g.halted {
+		g.liftAll(until)
+	}
+	total := serial + int(g.soloCount)
+	g.soloCount = 0
+	for i := range g.counts {
+		total += int(g.counts[i])
+		g.counts[i] = 0
+	}
+	return total
+}
+
+// minHead returns the earliest pending event across all domains in
+// (at, prio, birth, domain) order, with the shared domain losing full ties.
+func (g *Group) minHead(until Ticks) (*Event, int) {
+	var best *Event
+	bi := -1
+	for i, s := range g.all {
+		e := s.peek(until)
+		if e == nil {
+			continue
+		}
+		if best == nil || eventBefore(e, best) {
+			best, bi = e, i
+		}
+	}
+	return best, bi
+}
+
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.birth < b.birth
+}
+
+// horizon returns the first instant at which a cross-partition effect could
+// occur, given that the earliest pending event sits at tmin: the earliest
+// armed pledge, capped by tmin+lookahead (covering pledges not yet armed)
+// and by the end of the run.
+func (g *Group) horizon(tmin, until Ticks) Ticks {
+	h := until + 1
+	if c := tmin + g.look; c < h {
+		h = c
+	}
+	for _, d := range g.doms {
+		if f := d.pledgeFloor(); f < h {
+			h = f
+		}
+	}
+	return h
+}
+
+func (g *Group) liftAll(t Ticks) {
+	for _, s := range g.all {
+		s.lift(t)
+	}
+}
+
+// runWindows releases every worker to run its partition's local events up to
+// and including limit, then spins until all of them park again — unless the
+// window has at most one partition with anything to do, in which case the
+// coordinator steps it inline and skips the barrier entirely. That solo path
+// is the common shape whenever activity is momentarily concentrated in one
+// region, and on a machine with few cores it is most of the speedup: a
+// barrier crossing costs a goroutine-scheduler round trip per worker.
+func (g *Group) runWindows(limit Ticks) {
+	if g.prep != nil {
+		g.prep(limit)
+	}
+	n := 0
+	var solo *Simulator
+	for _, d := range g.doms {
+		if d.peek(limit) != nil {
+			n++
+			solo = d
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		g.soloCount += int64(solo.runWindow(limit))
+		return
+	}
+	g.limit = limit
+	g.pending.Store(int64(len(g.doms)))
+	g.epoch.Add(1)
+	for spins := 0; g.pending.Load() != 0; spins++ {
+		if spins&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	for i := range g.panics {
+		if p := g.panics[i]; p != nil {
+			panic(p)
+		}
+	}
+}
+
+func (g *Group) startWorkers() {
+	g.quit.Store(false)
+	g.wg.Add(len(g.doms))
+	// Snapshot the epoch before launching: a worker that first observes the
+	// counter only after the coordinator has already opened a window must
+	// still recognize that window as news, or the barrier deadlocks.
+	base := g.epoch.Load()
+	for i := range g.doms {
+		go g.worker(i, base)
+	}
+}
+
+func (g *Group) stopWorkers() {
+	g.quit.Store(true)
+	g.wg.Wait()
+}
+
+// worker is one partition's stepping goroutine: it parks on the epoch
+// counter and runs one bounded window per bump. A panic inside a handler is
+// captured and re-raised by the coordinator after the barrier, so a broken
+// workload fails the run instead of deadlocking it.
+func (g *Group) worker(i int, seen int64) {
+	defer g.wg.Done()
+	for {
+		e := g.epoch.Load()
+		if e == seen {
+			if g.quit.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		seen = e
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					g.panics[i] = r
+				}
+			}()
+			g.counts[i] += int64(g.doms[i].runWindow(g.limit))
+			return true
+		}()
+		g.pending.Add(-1)
+		if !ok {
+			return
+		}
+	}
+}

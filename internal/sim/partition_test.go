@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The partition tests drive a synthetic workload that obeys the same
+// contract as the real mote stack: nodes touch only their own state inside
+// ordinary events, every shared-bus interaction is pledged at least the
+// lookahead (500 ticks) ahead of the event that schedules it, cross-node
+// deliveries are scheduled only from serial bus events, and marked events
+// touch only their own node (plus coordinator-serial structures). Under that
+// contract a Group run must be event-for-event equivalent to running every
+// node on one serial simulator.
+
+type pnode struct {
+	id      int
+	s       *Simulator
+	bus     *pbus
+	period  Ticks
+	counter int
+	rcvd    int
+	pledge  Pledge
+	next    Handle
+	fireH   Handle
+	busy    bool
+	stopped bool
+	log     []string
+}
+
+func (n *pnode) start() {
+	n.next = n.s.Schedule(Ticks(10+3*n.id), PrioTask, n.tick)
+}
+
+func (n *pnode) tick() {
+	if n.stopped {
+		return
+	}
+	n.counter++
+	n.log = append(n.log, fmt.Sprintf("t=%d c=%d r=%d", n.s.Now(), n.counter, n.rcvd))
+	if n.counter%3 == 0 && !n.busy {
+		// Pledged bus transmit, >= 500 ticks out like a CSMA backoff. Like
+		// the radio, a node has at most one outstanding pledge: re-arming a
+		// live one would strip the horizon cover off its pending transmit.
+		n.busy = true
+		at := n.s.Now() + 500 + Ticks(n.counter%7)*13
+		n.s.Pledge(&n.pledge, at)
+		n.fireH = n.s.Schedule(at, PrioIRQ, n.fire)
+	}
+	if n.counter%11 == 5 {
+		// Marked event: stops this partition's window, steps serially.
+		n.s.ScheduleMarked(n.s.Now()+37, PrioHardware, n.audit)
+	}
+	n.next = n.s.Schedule(n.s.Now()+n.period, PrioTask, n.tick)
+}
+
+func (n *pnode) fire() {
+	n.s.Unpledge(&n.pledge)
+	n.busy = false
+	n.bus.transmit(n)
+}
+
+func (n *pnode) audit() {
+	n.log = append(n.log, fmt.Sprintf("audit t=%d c=%d", n.s.Now(), n.counter))
+}
+
+var deliverFn = func(a any) {
+	n := a.(*pnode)
+	if n.stopped {
+		return
+	}
+	n.rcvd++
+	n.log = append(n.log, fmt.Sprintf("rx t=%d r=%d", n.s.Now(), n.rcvd))
+}
+
+type pbus struct {
+	s     *Simulator
+	nodes []*pnode
+	log   []string
+}
+
+// transmit runs serially (it is the target of a pledged event): it may read
+// and write any node, schedule onto any partition, and cancel across
+// partitions — exactly what the radio medium does.
+func (b *pbus) transmit(from *pnode) {
+	now := b.s.Now()
+	b.log = append(b.log, fmt.Sprintf("tx n=%d t=%d", from.id, now))
+	for d := 1; d <= 2; d++ {
+		to := b.nodes[(from.id+d)%len(b.nodes)]
+		to.s.ScheduleArg(now+50+Ticks(d), PrioHardware, deliverFn, to)
+	}
+	// Every 4th transmit kills the next node outright: a cross-partition
+	// cancel plus state write from a serial event, like a battery death
+	// feeding back into the network.
+	if len(b.log)%4 == 0 {
+		victim := b.nodes[(from.id+1)%len(b.nodes)]
+		if !victim.stopped {
+			victim.stopped = true
+			victim.s.Cancel(victim.next)
+			// Dropping a pledge requires canceling the event it covered:
+			// otherwise the event is free to run inside a window and touch
+			// the shared bus unprotected (the radio's ForceOff does both).
+			victim.s.Cancel(victim.fireH)
+			victim.s.Unpledge(&victim.pledge)
+			b.log = append(b.log, fmt.Sprintf("kill n=%d t=%d", victim.id, now))
+		}
+	}
+	// Bus housekeeping on the shared queue, like a frame expiry.
+	b.s.Schedule(now+300, PrioHardware, func() {})
+}
+
+// buildWorkload wires nNodes onto the given simulators. simFor(i) returns
+// node i's simulator; shared is the bus's.
+func buildWorkload(nNodes int, shared *Simulator, simFor func(i int) *Simulator) (*pbus, []*pnode) {
+	bus := &pbus{s: shared}
+	nodes := make([]*pnode, nNodes)
+	for i := range nodes {
+		nodes[i] = &pnode{
+			id:     i,
+			s:      simFor(i),
+			bus:    bus,
+			period: Ticks(90 + 7*(i%5)),
+		}
+	}
+	bus.nodes = nodes
+	for _, n := range nodes {
+		n.start()
+	}
+	return bus, nodes
+}
+
+func TestGroupMatchesSerial(t *testing.T) {
+	const nNodes = 9
+	const until = Ticks(50_000)
+
+	run := func(parts int) (*pbus, []*pnode, int) {
+		if parts == 1 {
+			s := New()
+			bus, nodes := buildWorkload(nNodes, s, func(int) *Simulator { return s })
+			return bus, nodes, s.Run(until)
+		}
+		g := NewGroup(QueueWheel, parts)
+		bus, nodes := buildWorkload(nNodes, g.Shared(), func(i int) *Simulator {
+			return g.Domain(i % parts)
+		})
+		return bus, nodes, g.Run(until)
+	}
+
+	refBus, refNodes, refCount := run(1)
+	if refCount == 0 || len(refBus.log) == 0 {
+		t.Fatalf("degenerate reference: %d events, %d bus entries", refCount, len(refBus.log))
+	}
+	for _, parts := range []int{2, 3, 4, 8} {
+		bus, nodes, count := run(parts)
+		if count != refCount {
+			t.Errorf("parts=%d: dispatched %d events, serial dispatched %d", parts, count, refCount)
+		}
+		if !reflect.DeepEqual(bus.log, refBus.log) {
+			t.Errorf("parts=%d: bus log diverged\n got %v\nwant %v", parts, bus.log, refBus.log)
+		}
+		for i, n := range nodes {
+			if !reflect.DeepEqual(n.log, refNodes[i].log) {
+				t.Errorf("parts=%d node %d: log diverged\n got %v\nwant %v", parts, i, n.log, refNodes[i].log)
+			}
+			if n.counter != refNodes[i].counter || n.rcvd != refNodes[i].rcvd {
+				t.Errorf("parts=%d node %d: counters (%d,%d) != (%d,%d)",
+					parts, i, n.counter, n.rcvd, refNodes[i].counter, refNodes[i].rcvd)
+			}
+		}
+	}
+}
+
+func TestGroupClocksLiftToUntil(t *testing.T) {
+	const until = Ticks(12_345)
+	g := NewGroup(QueueWheel, 3)
+	buildWorkload(4, g.Shared(), func(i int) *Simulator { return g.Domain(i % 3) })
+	g.Run(until)
+	for i := 0; i < g.Partitions(); i++ {
+		if now := g.Domain(i).Now(); now != until {
+			t.Errorf("partition %d clock %d, want %d", i, now, until)
+		}
+	}
+	if now := g.Shared().Now(); now != until {
+		t.Errorf("shared clock %d, want %d", now, until)
+	}
+}
+
+func TestGroupHalt(t *testing.T) {
+	g := NewGroup(QueueWheel, 2)
+	var haltedAt Ticks
+	g.Domain(0).ScheduleMarked(1000, PrioHardware, func() {
+		haltedAt = g.Domain(0).Now()
+		g.Halt()
+	})
+	g.Domain(1).Schedule(5000, PrioTask, func() {
+		t.Error("event after halt dispatched")
+	})
+	g.Run(10_000)
+	if haltedAt != 1000 {
+		t.Fatalf("halt event ran at %d, want 1000", haltedAt)
+	}
+	if !g.Halted() {
+		t.Fatal("group not halted")
+	}
+	if now := g.Domain(1).Now(); now > 1000 {
+		t.Errorf("halted group lifted partition 1 clock to %d", now)
+	}
+}
+
+func TestGroupPanicPropagates(t *testing.T) {
+	g := NewGroup(QueueWheel, 2)
+	g.Domain(0).Schedule(100, PrioTask, func() { panic("boom") })
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	g.Run(1000)
+	t.Fatal("run returned despite worker panic")
+}
+
+// TestWheelBelowCursorSchedule pins the queue property the coordinator
+// depends on: peeking (settling) a wheel far ahead must not break a later
+// schedule at an earlier time — the event goes to the mixed-time ready heap
+// and still dispatches in (at, prio, seq) order.
+func TestWheelBelowCursorSchedule(t *testing.T) {
+	for _, kind := range []QueueKind{QueueWheel, QueueHeap} {
+		s := NewWithQueue(kind)
+		var order []Ticks
+		s.Schedule(900, PrioTask, func() { order = append(order, 900) })
+		if e := s.peek(10_000); e == nil || e.at != 900 {
+			t.Fatalf("%s: peek found %v", kind, e)
+		}
+		// The wheel's cursor has now settled at 900; deliver below it.
+		s.Schedule(500, PrioTask, func() { order = append(order, 500) })
+		s.Schedule(700, PrioHardware, func() { order = append(order, 700) })
+		s.Run(1000)
+		want := []Ticks{500, 700, 900}
+		if !reflect.DeepEqual(order, want) {
+			t.Fatalf("%s: dispatch order %v, want %v", kind, order, want)
+		}
+	}
+}

@@ -101,13 +101,19 @@ func (w *wheel) schedule(at Ticks, prio Priority, seq uint64, fn func(), afn fun
 }
 
 // place files an event by the highest byte in which its time differs from
-// the cursor. Callers guarantee at >= cur.
+// the cursor. Events at or before the cursor are due and go straight to the
+// ready heap: a Group coordinator peeking one partition can settle its
+// cursor ahead of another partition's merge time, so a cross-partition
+// schedule (a frame-end event delivered to this wheel) may land at or below
+// the cursor. The ready heap orders by (at, prio, seq), so such events still
+// dispatch in exact global order; a single-partition run never schedules
+// below its cursor and is unaffected.
 func (w *wheel) place(e *Event) {
-	diff := uint64(e.at) ^ uint64(w.cur)
-	if diff == 0 {
+	if e.at <= w.cur {
 		w.readyPush(e)
 		return
 	}
+	diff := uint64(e.at) ^ uint64(w.cur)
 	level := (bits.Len64(diff) - 1) >> 3
 	if level >= wheelLevels {
 		w.overflowPush(e)
@@ -173,11 +179,12 @@ func (w *wheel) curIdx(level int) int {
 func (w *wheel) next(limit Ticks) (Ticks, bool) {
 	for {
 		if len(w.ready) > 0 {
-			// Ready events are due exactly at the cursor.
-			if w.cur > limit {
-				return 0, false
+			// Ready events are due at or before the cursor; every slot event
+			// is strictly after it, so the ready head is the global minimum.
+			if at := w.ready[0].at; at <= limit {
+				return at, true
 			}
-			return w.cur, true
+			return 0, false
 		}
 		if w.n == 0 {
 			return 0, false
@@ -280,9 +287,20 @@ func (w *wheel) cancel(e *Event) {
 	w.n--
 }
 
-// --- ready heap: (prio, seq) min-heap of events due at the cursor ---
+// head returns the earliest pending event. Only valid right after next
+// returned ok, which guarantees the ready heap is primed.
+func (w *wheel) head() *Event { return w.ready[0] }
+
+// --- ready heap: (at, prio, seq) min-heap of due events ---
+//
+// A single-partition wheel only ever holds one instant here, so the at
+// comparison is vestigial for it; under a Group, below-cursor deliveries
+// from other partitions make the times genuinely mixed.
 
 func readyLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
 	if a.prio != b.prio {
 		return a.prio < b.prio
 	}
