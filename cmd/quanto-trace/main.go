@@ -10,6 +10,7 @@
 //	quanto-trace merge OUT FILE...               k-way merge node logs by time
 //	quanto-trace sweep [-workers N] FILE         run a scenario spec or matrix
 //	quanto-trace lifetime [-workers N] [-json] FILE   lifetime study of a spec or matrix
+//	quanto-trace record OUT FILE                 run one shaped spec, write its send trace
 //
 // FILE and OUT may be "-" for stdin/stdout, so logs pipe between tools.
 //
@@ -37,6 +38,23 @@
 //	       "seeds": 4}' |
 //	  quanto-trace sweep -workers 4 -
 //
+// Synthetic traffic rides the same spec: give the spec a "traffic" object
+// (shape constant/ramp/burst/diurnal/onoff/replay plus its knobs) and the
+// send-driven apps (relay, bounce, sensesend) draw their schedules from it.
+// The -traffic flag overrides every expanded run's shape from the command
+// line — a what-if convenience applied after matrix expansion, so derived
+// seeds keep the file's configuration identity:
+//
+//	echo '{"app": "relay", "nodes": 16, "origins": 4, "duration_us": 5000000,
+//	       "seed": 1, "placement": "line"}' |
+//	  quanto-trace sweep -traffic '{"shape":"ramp","start_rps":2,"step_rps":2,"target_rps":10,"slot_us":1000000}' -
+//
+// record runs one shaped spec and writes the realized send schedule as JSONL
+// (header line, then {"node":N,"at_us":T} per send). A later run with
+// {"shape":"replay","file":...} reproduces the recorded run byte for byte:
+//
+//	quanto-trace record trace.jsonl spec.json
+//
 // lifetime answers the question Quanto's accounting alone cannot: "how long
 // does this node live on this budget?" It runs the same expanded matrix as
 // sweep — the spec must give at least one node a finite battery
@@ -60,6 +78,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -76,6 +95,7 @@ import (
 	"repro/internal/mote"
 	"repro/internal/scenario"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -98,6 +118,7 @@ func run() int {
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of a table (lifetime)")
 	queue := fs.String("queue", "", `override every run's event queue: "wheel" or "heap" (sweep)`)
 	partitions := fs.Int("partitions", 0, "override every run's partition count for parallel stepping, 0 = keep spec values (sweep, lifetime)")
+	trafficJSON := fs.String("traffic", "", `override every run's traffic shape with this JSON object, e.g. '{"shape":"constant","rps":10}' (sweep, lifetime, record)`)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file (sweep, lifetime)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the command to this file (sweep, lifetime)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -162,12 +183,17 @@ func run() int {
 		if fs.NArg() != 1 {
 			usage()
 		}
-		err = sweep(fs.Arg(0), *workers, *queue, *partitions)
+		err = sweep(fs.Arg(0), *workers, *queue, *partitions, *trafficJSON)
 	case "lifetime":
 		if fs.NArg() != 1 {
 			usage()
 		}
-		err = lifetime(fs.Arg(0), *workers, *jsonOut, *partitions)
+		err = lifetime(fs.Arg(0), *workers, *jsonOut, *partitions, *trafficJSON)
+	case "record":
+		if fs.NArg() != 2 {
+			usage()
+		}
+		err = record(fs.Arg(0), fs.Arg(1), *trafficJSON)
 	default:
 		usage()
 	}
@@ -181,8 +207,9 @@ func run() int {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
        quanto-trace merge OUT FILE...
-       quanto-trace sweep [-workers N] [-apps] [-queue wheel|heap] [-partitions K] [-cpuprofile F] [-memprofile F] FILE
-       quanto-trace lifetime [-workers N] [-json] [-partitions K] [-cpuprofile F] [-memprofile F] FILE
+       quanto-trace sweep [-workers N] [-apps] [-queue wheel|heap] [-partitions K] [-traffic JSON] [-cpuprofile F] [-memprofile F] FILE
+       quanto-trace lifetime [-workers N] [-json] [-partitions K] [-traffic JSON] [-cpuprofile F] [-memprofile F] FILE
+       quanto-trace record [-traffic JSON] OUT FILE
 FILE/OUT may be "-" for stdin/stdout`)
 	os.Exit(2)
 }
@@ -412,7 +439,32 @@ func applyOverrides(specs []scenario.Spec, queue string, partitions int) error {
 	return nil
 }
 
-func sweep(name string, workers int, queue string, partitions int) error {
+// applyTraffic rewrites every spec's traffic shape from the -traffic JSON.
+// Unlike queue/partitions, the shape IS configuration (it changes ConfigKey);
+// the flag is a post-expansion what-if override, so derived seeds keep the
+// file's configuration identity — handy for asking "same matrix, but under a
+// ramp" without editing the file.
+func applyTraffic(specs []scenario.Spec, trafficJSON string) error {
+	if trafficJSON == "" {
+		return nil
+	}
+	var ts traffic.Spec
+	dec := json.NewDecoder(bytes.NewReader([]byte(trafficJSON)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ts); err != nil {
+		return fmt.Errorf("-traffic: %v", err)
+	}
+	for i := range specs {
+		sp := ts
+		specs[i].Traffic = &sp
+		if err := specs[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sweep(name string, workers int, queue string, partitions int, trafficJSON string) error {
 	in, err := openIn(name)
 	if err != nil {
 		return err
@@ -427,6 +479,9 @@ func sweep(name string, workers int, queue string, partitions int) error {
 		return err
 	}
 	if err := applyOverrides(specs, queue, partitions); err != nil {
+		return err
+	}
+	if err := applyTraffic(specs, trafficJSON); err != nil {
 		return err
 	}
 	effective := workers
@@ -474,7 +529,7 @@ func sweep(name string, workers int, queue string, partitions int) error {
 // stderr-free stdout only in -json mode; the default output is the rendered
 // table. Either form depends only on the matrix content, never the worker
 // count.
-func lifetime(name string, workers int, jsonOut bool, partitions int) error {
+func lifetime(name string, workers int, jsonOut bool, partitions int, trafficJSON string) error {
 	in, err := openIn(name)
 	if err != nil {
 		return err
@@ -489,6 +544,9 @@ func lifetime(name string, workers int, jsonOut bool, partitions int) error {
 		return err
 	}
 	if err := applyOverrides(specs, "", partitions); err != nil {
+		return err
+	}
+	if err := applyTraffic(specs, trafficJSON); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "lifetime: %d runs\n", len(specs))
@@ -524,6 +582,55 @@ func lifetime(name string, workers int, jsonOut bool, partitions int) error {
 	if failed > 0 {
 		return fmt.Errorf("%d of %d runs failed", failed, len(results))
 	}
+	return nil
+}
+
+// record runs one shaped spec with send-schedule recording on and writes the
+// realized schedule as JSONL to OUT. The input must expand to exactly one run
+// whose app honors a traffic shape; the shape comes from the spec's own
+// traffic field or the -traffic flag. The written file feeds straight back in
+// as {"shape": "replay", "file": ...}, reproducing the run byte for byte.
+func record(outName, name, trafficJSON string) error {
+	in, err := openIn(name)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(in)
+	in.Close()
+	if err != nil {
+		return err
+	}
+	specs, err := scenario.ParseSpecOrMatrix(data)
+	if err != nil {
+		return err
+	}
+	if len(specs) != 1 {
+		return fmt.Errorf("record needs exactly one run, matrix expands to %d", len(specs))
+	}
+	if err := applyTraffic(specs, trafficJSON); err != nil {
+		return err
+	}
+	spec := specs[0]
+	if spec.Traffic == nil {
+		return fmt.Errorf("record needs a traffic shape: set the spec's traffic field or pass -traffic")
+	}
+	spec.RecordTraffic = true
+	inst, err := scenario.Build(spec)
+	if err != nil {
+		return err
+	}
+	inst.Run()
+	out, closeOut, err := openOut(outName)
+	if err != nil {
+		return err
+	}
+	if err := inst.Traffic.WriteJSONL(out); err != nil {
+		return err
+	}
+	if err := closeOut(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d sends to %s\n", len(inst.Traffic.Events()), outName)
 	return nil
 }
 

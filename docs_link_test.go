@@ -97,6 +97,7 @@ func TestDocsMentionNewLayers(t *testing.T) {
 		"internal/power", "internal/scenario", "internal/analysis",
 		"Battery", "determinism", "Sink",
 		"internal/sim/partition.go", "lookahead",
+		"internal/traffic", "replay",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q", want)

@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mote"
 	"repro/internal/radio"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -30,6 +31,11 @@ type Bounce struct {
 
 	received [2]uint64
 	sent     [2]uint64
+	// Shaped-load injection counters (single-writer per node, summed by the
+	// accessors): packets the traffic schedule offered, and the subset
+	// dropped because the node's radio was still transmitting.
+	injected    [2]uint64
+	injectDrops [2]uint64
 }
 
 // BounceConfig parameterizes the run.
@@ -51,6 +57,14 @@ type BounceConfig struct {
 	// World, when set, is the pre-built (possibly partitioned) world to
 	// populate; nil builds a serial world from seed and Queue.
 	World *mote.World
+	// Traffic, when non-nil, replaces the two boot kicks with shaped packet
+	// injection: slot 0 drives NodeA, slot 1 NodeB, and every scheduled
+	// injection starts a fresh packet bouncing (dropped while the node's
+	// radio is still transmitting), so offered load controls the bouncing
+	// population instead of it being pinned at two.
+	Traffic []traffic.Source
+	// TrafficRec, when non-nil, captures each node's realized injections.
+	TrafficRec *traffic.Recorder
 }
 
 // DefaultBounceConfig matches the paper's setup: nodes 1 and 4.
@@ -89,12 +103,12 @@ func NewBounce(seed uint64, cfg BounceConfig) *Bounce {
 	}
 
 	for i := range b.Nodes {
-		b.setup(i, ids[1-i])
+		b.setup(&cfg, i, ids[1-i])
 	}
 	return b
 }
 
-func (b *Bounce) setup(i int, peer core.NodeID) {
+func (b *Bounce) setup(cfg *BounceConfig, i int, peer core.NodeID) {
 	n := b.Nodes[i]
 	k := n.K
 	b.acts[i] = k.DefineActivity("BounceApp")
@@ -124,6 +138,26 @@ func (b *Bounce) setup(i int, peer core.NodeID) {
 		k.CPUAct.Set(b.acts[i])
 		n.Radio.TurnOn(func() {
 			n.Radio.StartListening()
+			if cfg.Traffic != nil {
+				// Shaped load: inject fresh packets on the node's schedule
+				// instead of the single kick. Each injection that finds the
+				// radio free starts another packet bouncing forever, so the
+				// steady-state population tracks the offered rate.
+				var rec func(units.Ticks)
+				if cfg.TrafficRec != nil {
+					rec = cfg.TrafficRec.Hook(i)
+				}
+				traffic.Drive(k, cfg.Traffic[i], rec, func() {
+					b.injected[i]++
+					if n.Radio.Busy() {
+						b.injectDrops[i]++
+						return
+					}
+					out := &am.Packet{Dest: peer, Type: BounceAMType, Payload: make([]byte, 12)}
+					n.AM.Send(out, func() { b.sent[i]++ })
+				})
+				return
+			}
 			// Each node originates one packet, offset so the two packets
 			// interleave.
 			kick := k.NewTimer(func() {
@@ -134,6 +168,13 @@ func (b *Bounce) setup(i int, peer core.NodeID) {
 		})
 		k.CPUAct.SetIdle()
 	})
+}
+
+// Injections returns shaped-load injection counts: packets the traffic
+// schedule offered across both nodes, and the subset dropped at a busy
+// radio. Both are zero for the classic two-packet run.
+func (b *Bounce) Injections() (offered, dropped uint64) {
+	return b.injected[0] + b.injected[1], b.injectDrops[0] + b.injectDrops[1]
 }
 
 // Stats returns per-node received/sent counts.

@@ -32,7 +32,20 @@ func baseOptions(spec scenario.Spec) *mote.Options {
 	return &o
 }
 
+// noTraffic rejects a traffic shape on apps whose workload is not
+// send-driven: failing the build is kinder than silently ignoring the
+// field, which would make a sweep axis a no-op.
+func noTraffic(spec scenario.Spec, app string) error {
+	if spec.Traffic != nil {
+		return fmt.Errorf("%s does not honor a traffic shape (supported: bounce, relay, sensesend)", app)
+	}
+	return nil
+}
+
 func buildBlink(spec scenario.Spec) (*scenario.Instance, error) {
+	if err := noTraffic(spec, "blink"); err != nil {
+		return nil, err
+	}
 	w := mote.NewWorldQueue(spec.Seed, spec.Queue)
 	n := w.AddNode(1, spec.MoteOptions())
 	b := NewBlink(n)
@@ -76,24 +89,39 @@ func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
 		return nil, err
 	}
 	cfg.World = w
+	srcs, rec, err := spec.TrafficSources([]core.NodeID{cfg.NodeA, cfg.NodeB})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Traffic, cfg.TrafficRec = srcs, rec
 	b := NewBounce(spec.Seed, cfg)
 	if err := spec.ApplySpatial(b.World); err != nil {
 		return nil, err
 	}
 	return &scenario.Instance{
-		World: b.World,
-		App:   b,
+		World:   b.World,
+		App:     b,
+		Traffic: rec,
 		Metrics: func() map[string]float64 {
 			recv, sent := b.Stats()
-			return map[string]float64{
+			m := map[string]float64{
 				"rx_a": float64(recv[0]), "tx_a": float64(sent[0]),
 				"rx_b": float64(recv[1]), "tx_b": float64(sent[1]),
 			}
+			if spec.Traffic != nil {
+				offered, dropped := b.Injections()
+				m["injected"] = float64(offered)
+				m["inject_dropped"] = float64(dropped)
+			}
+			return m
 		},
 	}, nil
 }
 
 func buildLPL(spec scenario.Spec) (*scenario.Instance, error) {
+	if err := noTraffic(spec, "lpl"); err != nil {
+		return nil, err
+	}
 	channel := spec.Channel
 	if channel == 0 {
 		channel = 26
@@ -160,13 +188,19 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 		return nil, err
 	}
 	cfg.World = w
+	srcs, rec, err := spec.TrafficSources(RelayOrigins(cfg.Hops, cfg.Origins))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Traffic, cfg.TrafficRec = srcs, rec
 	r := NewRelay(spec.Seed, cfg)
 	if err := spec.ApplySpatial(r.World); err != nil {
 		return nil, err
 	}
 	return &scenario.Instance{
-		World: r.World,
-		App:   r,
+		World:   r.World,
+		App:     r,
+		Traffic: rec,
 		Metrics: func() map[string]float64 {
 			gen, del := r.Stats()
 			return map[string]float64{
@@ -194,25 +228,40 @@ func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
 		return nil, err
 	}
 	cfg.World = w
+	srcs, rec, err := spec.TrafficSources([]core.NodeID{cfg.SensorNode})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Traffic, cfg.TrafficRec = srcs, rec
 	s := NewSenseSend(spec.Seed, cfg)
 	if err := spec.ApplySpatial(s.World); err != nil {
 		return nil, err
 	}
 	return &scenario.Instance{
-		World: s.World,
-		App:   s,
+		World:   s.World,
+		App:     s,
+		Traffic: rec,
 		Metrics: func() map[string]float64 {
 			sent, received := s.Stats()
-			return map[string]float64{
+			m := map[string]float64{
 				"reports_sent":     float64(sent),
 				"reports_received": float64(received),
 				"sensor_reads":     float64(s.Sensor.Sensor.Reads()),
 			}
+			if spec.Traffic != nil {
+				offered, skipped := s.Samples()
+				m["samples_offered"] = float64(offered)
+				m["samples_skipped"] = float64(skipped)
+			}
+			return m
 		},
 	}, nil
 }
 
 func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
+	if err := noTraffic(spec, "timerbug"); err != nil {
+		return nil, err
+	}
 	// The case study's single node is id 32 (as in Figure 15), so its
 	// battery override key is "32", not "1".
 	opts := spec.MoteOptions()
@@ -231,6 +280,9 @@ func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
 }
 
 func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
+	if err := noTraffic(spec, "dma"); err != nil {
+		return nil, err
+	}
 	payload := spec.PayloadBytes
 	if payload <= 0 {
 		payload = 30

@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mote"
 	"repro/internal/radio"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -60,6 +61,34 @@ type RelayConfig struct {
 	// Queue selects the simulator event queue ("" or "wheel": timer wheel;
 	// "heap": the legacy binary-heap baseline). Results are identical.
 	Queue string
+	// Traffic, when non-nil, replaces every origin's fixed-period generation
+	// with a shaped schedule: slot i drives origin i (node i+1). Length must
+	// be the (clamped) origin count — scenario builders size it with
+	// RelayOrigins.
+	Traffic []traffic.Source
+	// TrafficRec, when non-nil, captures every origin's realized sends
+	// (slot i records origin i) for record-and-replay.
+	TrafficRec *traffic.Recorder
+}
+
+// RelayOrigins returns the sender node ids a relay config's traffic shape
+// drives, applying the same clamps NewRelay applies: origins default to 1
+// and never include the line's final node (the sink).
+func RelayOrigins(hops, origins int) []core.NodeID {
+	if hops < 2 {
+		hops = 2
+	}
+	if origins < 1 {
+		origins = 1
+	}
+	if origins > hops-1 {
+		origins = hops - 1
+	}
+	ids := make([]core.NodeID, origins)
+	for i := range ids {
+		ids[i] = core.NodeID(i + 1)
+	}
+	return ids
 }
 
 // DefaultRelayConfig builds a 3-hop line generating a packet per second.
@@ -114,21 +143,38 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 	}
 	r.Act = acts[0]
 
-	// startGen arms node i's periodic packet generation under its Flood
-	// activity; called from the node's TurnOn completion.
+	// startGen arms node i's packet generation under its Flood activity;
+	// called from the node's TurnOn completion. The send path is shared:
+	// count the offered packet, drop it if the radio is still transmitting
+	// the previous one (offered load beyond the radio's capacity), otherwise
+	// put it on the air.
 	startGen := func(i int) {
 		n := r.Nodes[i]
-		gen := n.K.NewTimer(func() {
+		send := func() {
 			r.generated[i]++
 			if n.Radio.Busy() {
-				// Offered load beyond the radio's capacity: the
-				// previous flood is still leaving the antenna.
 				r.dropped[i]++
 				return
 			}
 			out := &am.Packet{Dest: r.Nodes[i+1].ID, Type: RelayAMType, Payload: make([]byte, 8)}
 			n.AM.Send(out, nil)
-		})
+		}
+		if cfg.Traffic != nil {
+			// Shaped load: the origin's schedule comes from the traffic
+			// engine, armed under the Flood activity so every fire restores
+			// it — the same instrumentation the periodic path gets. The
+			// engine's per-slot stagger plays the tie-freedom role the
+			// periodic path's phase shift plays below.
+			var rec func(units.Ticks)
+			if cfg.TrafficRec != nil {
+				rec = cfg.TrafficRec.Hook(i)
+			}
+			n.K.CPUAct.Set(acts[i])
+			traffic.Drive(n.K, cfg.Traffic[i], rec, send)
+			n.K.CPUAct.SetIdle()
+			return
+		}
+		gen := n.K.NewTimer(send)
 		n.K.CPUAct.Set(acts[i])
 		// Each origin runs the same period at its own phase (origin 0 keeps
 		// the classic un-shifted start). Synchronized origins would put many

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mote"
 	"repro/internal/radio"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -28,8 +29,14 @@ type SenseSend struct {
 
 	humidity, temperature uint16
 	sensingDone           int
+	sampling              bool
 	reportsSent           uint64
 	reportsReceived       uint64
+	// Shaped-load counters: samples the traffic schedule offered, and the
+	// subset skipped because the previous sample was still in flight (the
+	// sensor's natural backpressure at high offered rates).
+	sampleOffered uint64
+	sampleSkipped uint64
 }
 
 // SenseSendConfig parameterizes the application.
@@ -49,6 +56,13 @@ type SenseSendConfig struct {
 	// World, when set, is the pre-built (possibly partitioned) world to
 	// populate; nil builds a serial world from seed and Queue.
 	World *mote.World
+	// Traffic, when non-nil, replaces the fixed sampling period with a
+	// shaped schedule (one slot: the sensor node). A scheduled sample that
+	// arrives while the previous one is still reading or sending is
+	// skipped and counted, not queued.
+	Traffic []traffic.Source
+	// TrafficRec, when non-nil, captures the sensor's realized samples.
+	TrafficRec *traffic.Recorder
 }
 
 // DefaultSenseSendConfig samples every 5 seconds.
@@ -100,6 +114,31 @@ func NewSenseSend(seed uint64, cfg SenseSendConfig) *SenseSend {
 
 	// Sensor node: periodic sample-and-send, the Figure 7 sensorTask.
 	k.Boot(func() {
+		if cfg.Traffic != nil {
+			// Shaped load: the sampling schedule comes from the traffic
+			// engine, armed once the radio reaches idle so an aggressive
+			// shape cannot offer samples to a half-booted transceiver. A
+			// sample landing while the previous one is still in flight is
+			// skipped — the sensor has one conversion pipeline, so offered
+			// load beyond it is backpressure, not a queue.
+			var rec func(units.Ticks)
+			if cfg.TrafficRec != nil {
+				rec = cfg.TrafficRec.Hook(0)
+			}
+			s.Sensor.Radio.TurnOn(func() {
+				traffic.Drive(k, cfg.Traffic[0], rec, func() {
+					s.sampleOffered++
+					if s.sampling {
+						s.sampleSkipped++
+						return
+					}
+					s.sampling = true
+					s.sensorTask(cfg.BaseNode)
+				})
+			})
+			k.CPUAct.SetIdle()
+			return
+		}
 		s.Sensor.Radio.TurnOn(nil)
 		t := k.NewTimer(func() { s.sensorTask(cfg.BaseNode) })
 		t.StartPeriodic(cfg.Period)
@@ -141,9 +180,17 @@ func (s *SenseSend) sendIfDone(base core.NodeID) {
 		p := &am.Packet{Dest: base, Type: SenseAMType, Payload: payload}
 		s.Sensor.AM.Send(p, func() {
 			s.reportsSent++
+			s.sampling = false
 			k.CPUAct.SetIdle()
 		})
 	})
+}
+
+// Samples returns shaped-load sampling counts: samples the traffic schedule
+// offered and the subset skipped because the previous sample was still in
+// flight. Both are zero for the classic fixed-period run.
+func (s *SenseSend) Samples() (offered, skipped uint64) {
+	return s.sampleOffered, s.sampleSkipped
 }
 
 // Stats returns sent and received report counts.

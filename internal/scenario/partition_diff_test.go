@@ -3,10 +3,13 @@ package scenario_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	_ "repro/internal/apps" // registers the paper's workloads
 	"repro/internal/scenario"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -88,9 +91,47 @@ func TestPartitionTraceIdentity(t *testing.T) {
 			s.DeathPolicy = scenario.DeathPolicyHaltWorld
 			return s
 		}(),
+		// Shaped load: a ramp schedule drives several origins at once. The
+		// traffic engine's per-sender stagger must keep every send on a
+		// distinct tick, or independent same-tick transmits in different
+		// partitions would race for medium order.
+		func() scenario.Spec {
+			s := base("relay", 2*units.Second)
+			s.Nodes = 16
+			s.Origins = 4
+			s.Placement = scenario.PlacementLine
+			s.Traffic = &traffic.Spec{
+				Shape:     traffic.ShapeRamp,
+				StartRPS:  2,
+				StepRPS:   3,
+				TargetRPS: 11,
+				SlotUS:    int64(500 * units.Millisecond),
+			}
+			return s
+		}(),
+		// Heavy-tailed ON/OFF sources: the shape draws from per-sender
+		// private RNG streams, so the schedule is irregular but must still
+		// land tie-free and identically across partition counts.
+		func() scenario.Spec {
+			s := base("relay", 3*units.Second)
+			s.Nodes = 12
+			s.Origins = 4
+			s.Placement = scenario.PlacementLine
+			s.Traffic = &traffic.Spec{
+				Shape:    traffic.ShapeOnOff,
+				RPS:      20,
+				OnMinUS:  int64(300 * units.Millisecond),
+				OffMinUS: int64(200 * units.Millisecond),
+			}
+			return s
+		}(),
 	}
+	// A replayed trace must also be partition-invariant: record a shaped run
+	// once, then drive every partition count from the recorded file.
+	variants = append(variants, recordedReplayVariant(t))
 	// Every registered app must appear above: a new app cannot ship without
-	// joining the partition differential suite.
+	// joining the partition differential suite. (The appended replay variant
+	// reuses relay, so the coverage check sees the same app set either way.)
 	covered := make(map[string]bool)
 	for _, v := range variants {
 		covered[v.App] = true
@@ -101,11 +142,15 @@ func TestPartitionTraceIdentity(t *testing.T) {
 		}
 	}
 
-	for _, v := range variants {
+	for vi, v := range variants {
 		for _, seed := range []uint64{1, 7} {
 			v := v
 			v.Seed = seed
-			name := fmt.Sprintf("%s/seed=%d/placement=%s", v.App, seed, v.Placement)
+			shape := ""
+			if v.Traffic != nil {
+				shape = "/shape=" + v.Traffic.Shape
+			}
+			name := fmt.Sprintf("%d:%s/seed=%d/placement=%s%s", vi, v.App, seed, v.Placement, shape)
 			t.Run(name, func(t *testing.T) {
 				serial := v
 				serial.Partitions = 1
@@ -134,4 +179,48 @@ func TestPartitionTraceIdentity(t *testing.T) {
 			})
 		}
 	}
+}
+
+// recordedReplayVariant records a bursty shaped relay run once and returns a
+// spec that replays the captured schedule from disk, so the partition suite
+// proves replay — the shape that consumes no randomness at all — is as
+// partition-invariant as the generators.
+func recordedReplayVariant(t *testing.T) scenario.Spec {
+	t.Helper()
+	rec := scenario.Spec{
+		App:        "relay",
+		Seed:       3,
+		DurationUS: int64(2 * units.Second),
+		Nodes:      12,
+		Origins:    3,
+		Placement:  scenario.PlacementLine,
+		Traffic: &traffic.Spec{
+			Shape:    traffic.ShapeBurst,
+			RPS:      2,
+			BurstRPS: 40,
+			BurstUS:  int64(100 * units.Millisecond),
+			PeriodUS: int64(500 * units.Millisecond),
+		},
+		RecordTraffic: true,
+	}
+	in, err := scenario.Build(rec)
+	if err != nil {
+		t.Fatalf("build recording run: %v", err)
+	}
+	in.Run()
+	path := filepath.Join(t.TempDir(), "relay-burst.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create trace file: %v", err)
+	}
+	if err := in.Traffic.WriteJSONL(f); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close trace: %v", err)
+	}
+	replay := rec
+	replay.RecordTraffic = false
+	replay.Traffic = &traffic.Spec{Shape: traffic.ShapeReplay, File: path}
+	return replay
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/mote"
+	"repro/internal/traffic"
 )
 
 // Instance is one constructed-but-not-yet-run scenario: a fresh isolated
@@ -22,6 +23,9 @@ type Instance struct {
 	// run (wake-ups, packets delivered, false-positive rate, ...). They ride
 	// into Result.Metrics and from there into cross-run aggregation.
 	Metrics func() map[string]float64
+	// Traffic, when the spec set record_traffic, is the recorder holding the
+	// run's realized send schedule; write it out with WriteJSONL after Run.
+	Traffic *traffic.Recorder
 
 	// net memoizes the streaming analysis so Finish and Network share one
 	// pass over the merged trace.

@@ -27,10 +27,12 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/medium"
 	"repro/internal/mote"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -204,6 +206,28 @@ type Spec struct {
 	// network keep running; "halt-world" stops the whole simulation at the
 	// first death. Requires a finite battery. Honored by: all apps.
 	DeathPolicy string `json:"death_policy,omitempty"`
+
+	// Traffic replaces the app's fixed-period generation with a synthetic
+	// offered-load shape: constant RPS, an invitro-style ramp
+	// (start/step/target RPS over fixed slots), bursts, a diurnal cycle, a
+	// heavy-tailed ON/OFF source, or the replay of a recorded schedule
+	// (`quanto-trace record`). Shaped senders draw randomness only from
+	// private per-node streams derived from the run seed, and generated
+	// schedules are phase-staggered onto disjoint tick residues so no two
+	// senders share a send tick — shaped load stays byte-identical across
+	// -workers and -partitions. Unlike Queue/Partitions this changes the
+	// workload, so it stays in ConfigKey and is sweepable like any other
+	// field. Default nil (the app's classic fixed-period traffic,
+	// byte-identical to all pre-traffic runs). Honored by: relay (each
+	// origin's generation), bounce (each node's packet injection),
+	// sensesend (the sampling schedule).
+	Traffic *traffic.Spec `json:"traffic,omitempty"`
+	// RecordTraffic captures the run's realized send schedule in memory so
+	// it can be written out as a JSONL trace afterwards (Instance.Traffic;
+	// `quanto-trace record` sets this). Recording observes the run without
+	// changing it, so — like Queue — the flag is excluded from ConfigKey.
+	// Requires Traffic. Honored by: the same apps as Traffic.
+	RecordTraffic bool `json:"record_traffic,omitempty"`
 }
 
 // Death policies for Spec.DeathPolicy.
@@ -517,7 +541,36 @@ func (s *Spec) Validate() error {
 	if s.DeathPolicy != "" && !s.hasBattery() {
 		return fmt.Errorf("scenario: death_policy requires a finite battery")
 	}
+	if s.Traffic != nil {
+		if err := s.Traffic.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.RecordTraffic && s.Traffic == nil {
+		return fmt.Errorf("scenario: record_traffic requires a traffic shape")
+	}
 	return nil
+}
+
+// TrafficSources builds the per-sender send schedules (and, when the spec
+// asks for recording, the recorder) for the given sender ids, in slot order.
+// App builders call it with the node ids of the senders the spec's traffic
+// shape drives; a nil-Traffic spec returns all nils and the app keeps its
+// classic fixed-period generation. Replay specs read their trace file here,
+// so an unreadable or malformed trace fails the build, not the run.
+func (s *Spec) TrafficSources(ids []core.NodeID) ([]traffic.Source, *traffic.Recorder, error) {
+	if s.Traffic == nil {
+		return nil, nil, nil
+	}
+	srcs, err := traffic.Sources(s.Traffic, s.Seed, ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec *traffic.Recorder
+	if s.RecordTraffic {
+		rec = traffic.NewRecorder(ids)
+	}
+	return srcs, rec, nil
 }
 
 // ConfigKey returns the canonical configuration string of a spec: its JSON
@@ -528,8 +581,9 @@ func (s *Spec) ConfigKey() string {
 	c := *s
 	c.Seed = 0
 	c.Name = ""
-	c.Queue = ""     // implementation choice, not configuration: results match
-	c.Partitions = 0 // likewise: parallel runs are byte-identical to serial
+	c.Queue = ""            // implementation choice, not configuration: results match
+	c.Partitions = 0        // likewise: parallel runs are byte-identical to serial
+	c.RecordTraffic = false // observation, not configuration: recording changes nothing
 	b, err := json.Marshal(&c)
 	if err != nil {
 		// Spec is a plain struct of scalars; this cannot fail.

@@ -1,0 +1,150 @@
+package scenario_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "repro/internal/apps" // registers the paper's workloads
+	"repro/internal/scenario"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// TestTrafficReplayRoundTrip is the record-and-replay contract: run a shaped
+// spec with recording on, write the captured schedule to disk, then run the
+// same spec again with the replay shape driving it from that file. The replay
+// run must produce byte-identical node traces and identical metrics — and
+// re-recording the replay must reproduce the trace file byte for byte. This
+// holds because shapes draw from private RNG streams: the world's randomness
+// never notices whether sends came from a generator or a file.
+func TestTrafficReplayRoundTrip(t *testing.T) {
+	cases := []scenario.Spec{
+		{
+			App:        "relay",
+			Seed:       11,
+			DurationUS: int64(2 * units.Second),
+			Nodes:      10,
+			Origins:    3,
+			Traffic: &traffic.Spec{
+				Shape:     traffic.ShapeRamp,
+				StartRPS:  4,
+				StepRPS:   4,
+				TargetRPS: 16,
+				SlotUS:    int64(500 * units.Millisecond),
+			},
+		},
+		{
+			App:        "bounce",
+			Seed:       5,
+			DurationUS: int64(2 * units.Second),
+			Traffic:    &traffic.Spec{Shape: traffic.ShapeConstant, RPS: 6},
+		},
+		{
+			App:        "sensesend",
+			Seed:       9,
+			DurationUS: int64(3 * units.Second),
+			Traffic: &traffic.Spec{
+				Shape:    traffic.ShapeDiurnal,
+				RPS:      8,
+				PeriodUS: int64(2 * units.Second),
+			},
+		},
+	}
+	for _, spec := range cases {
+		spec := spec
+		t.Run(fmt.Sprintf("%s/%s", spec.App, spec.Traffic.Shape), func(t *testing.T) {
+			rec := spec
+			rec.RecordTraffic = true
+			in, err := scenario.Build(rec)
+			if err != nil {
+				t.Fatalf("build recording run: %v", err)
+			}
+			in.Run()
+			var file bytes.Buffer
+			if err := in.Traffic.WriteJSONL(&file); err != nil {
+				t.Fatalf("write trace: %v", err)
+			}
+			shapedTraces, shapedMetrics := encodedTraces(t, spec)
+
+			path := filepath.Join(t.TempDir(), "trace.jsonl")
+			if err := os.WriteFile(path, file.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			replay := spec
+			replay.Traffic = &traffic.Spec{Shape: traffic.ShapeReplay, File: path}
+			replay.RecordTraffic = true
+			rin, err := scenario.Build(replay)
+			if err != nil {
+				t.Fatalf("build replay run: %v", err)
+			}
+			rin.Run()
+			var refile bytes.Buffer
+			if err := rin.Traffic.WriteJSONL(&refile); err != nil {
+				t.Fatalf("re-record trace: %v", err)
+			}
+			if !bytes.Equal(refile.Bytes(), file.Bytes()) {
+				t.Fatalf("re-recorded trace differs from original (%d vs %d bytes)",
+					refile.Len(), file.Len())
+			}
+
+			replay.RecordTraffic = false
+			replayTraces, replayMetrics := encodedTraces(t, replay)
+			if !bytes.Equal(replayTraces, shapedTraces) {
+				t.Fatalf("replay traces differ from shaped run (%d vs %d bytes)",
+					len(replayTraces), len(shapedTraces))
+			}
+			if len(replayMetrics) != len(shapedMetrics) {
+				t.Fatalf("metric sets differ: shaped %v replay %v", shapedMetrics, replayMetrics)
+			}
+			for k, sv := range shapedMetrics {
+				if rv, ok := replayMetrics[k]; !ok || rv != sv {
+					t.Errorf("metric %q: shaped %v replay %v", k, sv, replayMetrics[k])
+				}
+			}
+		})
+	}
+}
+
+// TestTrafficRecordingInvariance proves record_traffic is pure observation:
+// the same spec with and without recording produces byte-identical traces,
+// which is why ConfigKey clears the flag.
+func TestTrafficRecordingInvariance(t *testing.T) {
+	spec := scenario.Spec{
+		App:        "relay",
+		Seed:       2,
+		DurationUS: int64(2 * units.Second),
+		Nodes:      8,
+		Origins:    2,
+		Traffic:    &traffic.Spec{Shape: traffic.ShapeConstant, RPS: 10},
+	}
+	plain, _ := encodedTraces(t, spec)
+	rec := spec
+	rec.RecordTraffic = true
+	if rec.ConfigKey() != spec.ConfigKey() {
+		t.Fatalf("record_traffic leaked into ConfigKey:\n%s\nvs\n%s", rec.ConfigKey(), spec.ConfigKey())
+	}
+	recorded, _ := encodedTraces(t, rec)
+	if !bytes.Equal(plain, recorded) {
+		t.Fatalf("recording changed the run (%d vs %d trace bytes)", len(recorded), len(plain))
+	}
+}
+
+// TestTrafficRejectedByNonSendApps pins the builder guard: a traffic shape on
+// an app with no send-driven workload fails the build instead of silently
+// doing nothing.
+func TestTrafficRejectedByNonSendApps(t *testing.T) {
+	for _, app := range []string{"blink", "lpl", "timerbug", "dma"} {
+		spec := scenario.Spec{
+			App:        app,
+			Seed:       1,
+			DurationUS: int64(units.Second),
+			Traffic:    &traffic.Spec{Shape: traffic.ShapeConstant, RPS: 1},
+		}
+		if _, err := scenario.Build(spec); err == nil {
+			t.Errorf("%s: build accepted a traffic shape it does not honor", app)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceReplayParse is the replay parser's crash wall: arbitrary bytes
+// must produce either a parsed trace or an error — never a panic — and a
+// successfully parsed trace must yield well-formed (strictly increasing)
+// replay schedules. CI runs a short -fuzz smoke on top of the checked-in
+// corpus below.
+func FuzzTraceReplayParse(f *testing.F) {
+	f.Add("")
+	f.Add("{\"quanto_traffic\":1}\n")
+	f.Add("{\"quanto_traffic\":1}\n{\"node\":1,\"at_us\":100}\n{\"node\":2,\"at_us\":101}\n")
+	f.Add("{\"node\":3,\"at_us\":0}\n")
+	f.Add("{\"node\":1,\"at_us\":9}\n{\"node\":1,\"at_us\":3}\n")
+	f.Add("{\"node\":-1,\"at_us\":5}\n")
+	f.Add("{\"node\":1e9,\"at_us\":5}\n")
+	f.Add("garbage\n")
+	f.Add("{\"quanto_traffic\":2}\n")
+	f.Add(strings.Repeat("{\"node\":1,\"at_us\":", 50))
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, id := range tr.Nodes() {
+			src := tr.Source(0, id, nil)
+			last, n := int64(-1), 0
+			for n < 1<<16 {
+				tick, ok := src.Next()
+				if !ok {
+					break
+				}
+				if int64(tick) <= last {
+					t.Fatalf("node %d replay schedule not strictly increasing: %d after %d", id, tick, last)
+				}
+				last = int64(tick)
+				n++
+			}
+		}
+	})
+}
