@@ -1,0 +1,24 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestBounceHighRateTrafficPanics(t *testing.T) {
+	for _, rps := range []float64{5, 20, 50, 200} {
+		var sp scenario.Spec
+		if err := json.Unmarshal([]byte(`{"app":"bounce","seed":1,"duration_us":30000000,"traffic":{"shape":"constant","rps":1}}`), &sp); err != nil {
+			t.Fatal(err)
+		}
+		sp.Traffic.RPS = rps
+		res := scenario.RunSpec(sp)
+		if res.Err != "" {
+			t.Logf("rps=%v err=%v", rps, res.Err)
+		} else {
+			t.Logf("rps=%v ok metrics=%v", rps, res.Metrics)
+		}
+	}
+}
