@@ -1,4 +1,4 @@
-package main
+package repro
 
 import (
 	"encoding/json"
@@ -15,8 +15,8 @@ func TestBounceHighRateTrafficPanics(t *testing.T) {
 		}
 		sp.Traffic.RPS = rps
 		res := scenario.RunSpec(sp)
-		if res.Err != "" {
-			t.Logf("rps=%v err=%v", rps, res.Err)
+		if res.Error != "" {
+			t.Logf("rps=%v err=%v", rps, res.Error)
 		} else {
 			t.Logf("rps=%v ok metrics=%v", rps, res.Metrics)
 		}

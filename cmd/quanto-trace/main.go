@@ -102,15 +102,22 @@ import (
 func main() {
 	// Exit via a return code so the deferred profile writers always run;
 	// os.Exit here would truncate -cpuprofile/-memprofile output.
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stderr))
 }
 
-func run() int {
-	if len(os.Args) < 2 {
-		usage()
+// run is the whole command behind an exit code: 0 on success, 1 when a
+// subcommand fails, 2 for usage errors (unknown subcommand, flag-parse
+// failure, wrong arity) — which all print the usage text to stderr. Keeping
+// every exit on this one return path is what lets the deferred profile
+// writers run and the table test in main_test.go pin the contract.
+func run(args []string, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	seed := fs.Uint64("seed", 1, "simulation seed (gen)")
 	secs := fs.Int("secs", 48, "run length in seconds (gen)")
 	workers := fs.Int("workers", 0, "worker pool size, 0 = GOMAXPROCS (sweep, lifetime)")
@@ -121,8 +128,10 @@ func run() int {
 	trafficJSON := fs.String("traffic", "", `override every run's traffic shape with this JSON object, e.g. '{"shape":"constant","rps":10}' (sweep, lifetime, record)`)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file (sweep, lifetime)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the command to this file (sweep, lifetime)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		usage()
+	if err := fs.Parse(args[1:]); err != nil {
+		// flag already reported the specific problem on stderr.
+		usage(stderr)
+		return 2
 	}
 
 	// Profiling brackets the whole subcommand — world construction included —
@@ -131,11 +140,11 @@ func run() int {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "quanto-trace: cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "quanto-trace: cpuprofile: %v\n", err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "quanto-trace: cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "quanto-trace: cpuprofile: %v\n", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
@@ -143,13 +152,13 @@ func run() int {
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "quanto-trace: memprofile: %v\n", err)
+			fmt.Fprintf(stderr, "quanto-trace: memprofile: %v\n", err)
 			return 1
 		}
 		defer func() {
 			runtime.GC() // settle the live set so the profile shows retained heap
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "quanto-trace: memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "quanto-trace: memprofile: %v\n", err)
 			}
 			f.Close()
 		}()
@@ -159,7 +168,8 @@ func run() int {
 	switch cmd {
 	case "gen":
 		if fs.NArg() != 1 {
-			usage()
+			usage(stderr)
+			return 2
 		}
 		err = gen(fs.Arg(0), *seed, *secs)
 	case "dump":
@@ -170,7 +180,8 @@ func run() int {
 		err = withStream(fs.Args(), analyze)
 	case "merge":
 		if fs.NArg() < 2 {
-			usage()
+			usage(stderr)
+			return 2
 		}
 		err = merge(fs.Arg(0), fs.Args()[1:])
 	case "sweep":
@@ -181,37 +192,41 @@ func run() int {
 			return 0
 		}
 		if fs.NArg() != 1 {
-			usage()
+			usage(stderr)
+			return 2
 		}
 		err = sweep(fs.Arg(0), *workers, *queue, *partitions, *trafficJSON)
 	case "lifetime":
 		if fs.NArg() != 1 {
-			usage()
+			usage(stderr)
+			return 2
 		}
 		err = lifetime(fs.Arg(0), *workers, *jsonOut, *partitions, *trafficJSON)
 	case "record":
 		if fs.NArg() != 2 {
-			usage()
+			usage(stderr)
+			return 2
 		}
 		err = record(fs.Arg(0), fs.Arg(1), *trafficJSON)
 	default:
-		usage()
+		fmt.Fprintf(stderr, "quanto-trace: unknown subcommand %q\n", cmd)
+		usage(stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "quanto-trace: %v\n", err)
+		fmt.Fprintf(stderr, "quanto-trace: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: quanto-trace gen|dump|summary|analyze [flags] FILE
        quanto-trace merge OUT FILE...
        quanto-trace sweep [-workers N] [-apps] [-queue wheel|heap] [-partitions K] [-traffic JSON] [-cpuprofile F] [-memprofile F] FILE
        quanto-trace lifetime [-workers N] [-json] [-partitions K] [-traffic JSON] [-cpuprofile F] [-memprofile F] FILE
        quanto-trace record [-traffic JSON] OUT FILE
 FILE/OUT may be "-" for stdin/stdout`)
-	os.Exit(2)
 }
 
 // openIn opens a trace input; "" or "-" selects stdin.
@@ -238,7 +253,7 @@ func openOut(name string) (io.WriteCloser, func() error, error) {
 // input, never holding more than one batch in memory.
 func withStream(args []string, fn func(r *trace.Reader) error) error {
 	if len(args) > 1 {
-		usage()
+		return fmt.Errorf("expected at most one FILE, got %d arguments", len(args))
 	}
 	name := ""
 	if len(args) == 1 {

@@ -98,9 +98,20 @@ func TestDocsMentionNewLayers(t *testing.T) {
 		"Battery", "determinism", "Sink",
 		"internal/sim/partition.go", "lookahead",
 		"internal/traffic", "replay",
+		"internal/lint", "quantovet", "quanto:ordered", "quanto:wallclock",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q", want)
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md missing: %v", err)
+	}
+	for _, want := range []string{"Determinism contract, machine-checked", "quantovet"} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README.md no longer mentions %q", want)
 		}
 	}
 }

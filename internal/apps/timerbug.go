@@ -74,6 +74,7 @@ func (t *TimerBug) CalibrationRate() float64 {
 	}
 	var fires int
 	var target core.Label
+	//quanto:ordered at most one label carries this (name, origin) pair, so the search result is order-independent
 	for l, name := range t.World.Dict.Activities {
 		if name == "int_TIMERA1" && l.Origin() == t.Node.ID {
 			target = l

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// RNGDomain checks every sim.DeriveSeed / sim.DeriveRNG call site. The
+// domain-tag API exists so each consumer of the run seed gets its own
+// decorrelated stream; the contract only holds if tags are compile-time
+// constants (a tag computed at runtime cannot be audited and may collide)
+// and distinct per call site (two call sites sharing a tag share a stream —
+// the hidden coupling that made one subsystem's draws perturb another's in
+// the pre-PR-5 determinism bugs). Tags are namespaced `<package>/<purpose>`;
+// requiring the caller's package name as prefix makes uniqueness composable
+// across packages without whole-program analysis: within a package the
+// analyzer proves tags distinct, and two different packages cannot collide
+// because their prefixes differ. The same call site executing many times
+// (e.g. once per sender id) is fine — the salt argument varies, the tag
+// names the purpose, not the instance.
+var RNGDomain = &Analyzer{
+	Name: "rngdomain",
+	Doc:  "requires distinct, constant, package-prefixed domain tags at every sim.DeriveSeed/DeriveRNG call site",
+	Run:  runRNGDomain,
+}
+
+func runRNGDomain(pass *Pass) {
+	seen := make(map[string]string) // tag -> position of first use
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
+				return true
+			}
+			if name := obj.Name(); name != "DeriveSeed" && name != "DeriveRNG" {
+				return true
+			}
+			// The derivation helpers forward to each other inside package
+			// sim with the tag as a variable; only external call sites must
+			// pass literals.
+			if obj.Pkg().Path() == pass.Pkg.Path() {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true // does not compile anyway
+			}
+			arg := call.Args[1]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "sim.%s domain tag must be a compile-time string constant so streams can be audited statically", obj.Name())
+				return true
+			}
+			tag := constant.StringVal(tv.Value)
+			want := pass.Pkg.Name() + "/"
+			if tag == "" || !strings.HasPrefix(tag, want) || len(tag) == len(want) {
+				pass.Reportf(arg.Pos(), "sim.%s domain tag %q must be %q-prefixed (\"%s<purpose>\") so tags cannot collide across packages", obj.Name(), tag, want, want)
+				return true
+			}
+			if first, dup := seen[tag]; dup {
+				pass.Reportf(arg.Pos(), "duplicate RNG domain tag %q (first used at %s): two call sites sharing a tag share a stream; derive a distinct per-purpose tag", tag, first)
+				return true
+			}
+			seen[tag] = pass.Fset.Position(arg.Pos()).String()
+			return true
+		})
+	}
+}

@@ -1,0 +1,36 @@
+// Package bad collects every way the cache-key contract can rot: an
+// undecided field (the acceptance case — a new Spec field absent from both
+// ConfigKey's clears and the declared lists), a field claimed twice, a stale
+// list entry, an exclusion ConfigKey does not honor, and an included field
+// ConfigKey clears anyway.
+package bad
+
+type Spec struct {
+	Name  string `json:"name,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	App   string `json:"app"`
+	Queue string `json:"queue,omitempty"`
+	Nodes int    `json:"nodes,omitempty"` // want `Spec field Nodes \(json "nodes"\) has no declared ConfigKey fate`
+	Extra int    `json:"extra,omitempty"`
+}
+
+var (
+	configKeyIncluded = []string{"app", "extra"}
+	configKeyExcluded = []string{
+		"queue", // want `configKeyExcluded declares "queue" cleared from the cache key, but ConfigKey does not clear it`
+		"ghost", // want `configKeyExcluded entry "ghost" names no Spec JSON field`
+	}
+	configKeyIdentity = []string{
+		"name",
+		"seed",
+		"app", // want `Spec field "app" appears in both configKeyIncluded and configKeyIdentity`
+	}
+)
+
+func (s *Spec) ConfigKey() string {
+	c := *s
+	c.Name = ""
+	c.Seed = 0
+	c.Extra = 0 // want `ConfigKey clears field "extra", but configKeyIncluded declares it part of the cache key`
+	return c.App
+}

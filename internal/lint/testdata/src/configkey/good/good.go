@@ -1,0 +1,29 @@
+// Package good declares a consistent cache-key contract: every Spec field
+// has exactly one fate and ConfigKey clears exactly the identity+excluded
+// fields. configkey must stay silent.
+package good
+
+// Spec mirrors the real scenario.Spec shape at fixture scale.
+type Spec struct {
+	Name  string `json:"name,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	App   string `json:"app"`
+	Nodes int    `json:"nodes,omitempty"`
+	Queue string `json:"queue,omitempty"`
+}
+
+var (
+	configKeyIncluded = []string{"app", "nodes"}
+	configKeyExcluded = []string{"queue"}
+	configKeyIdentity = []string{"name", "seed"}
+)
+
+// ConfigKey clears the identity and excluded fields before serializing; the
+// fixture elides the marshal itself.
+func (s *Spec) ConfigKey() string {
+	c := *s
+	c.Name = ""
+	c.Seed = 0
+	c.Queue = ""
+	return c.App
+}

@@ -1,0 +1,9 @@
+// Package missing declares Spec and ConfigKey but no fate lists: the
+// analyzer demands the declaration rather than guessing.
+package missing
+
+type Spec struct { // want `no configKeyIncluded list`
+	App string `json:"app"`
+}
+
+func (s *Spec) ConfigKey() string { return s.App }

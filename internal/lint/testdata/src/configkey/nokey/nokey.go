@@ -1,0 +1,11 @@
+// Package nokey declares a Spec without a ConfigKey method (the
+// traffic.Spec situation): not a cache key, so configkey stays silent.
+package nokey
+
+type Spec struct {
+	Shape string `json:"shape"`
+	RPS   float64
+}
+
+// Validate is here so the struct is not trivially dead.
+func (s *Spec) Validate() bool { return s.Shape != "" && s.RPS >= 0 }

@@ -1,0 +1,17 @@
+// Package otherpkg sits outside the deterministic set: maporder and
+// wallclock must stay silent here, map ranges and clock reads included.
+package otherpkg
+
+import "time"
+
+// Sum folds a map in iteration order; legal outside the contract.
+func Sum(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Stamp reads the host clock; legal outside the contract.
+func Stamp() time.Time { return time.Now() }

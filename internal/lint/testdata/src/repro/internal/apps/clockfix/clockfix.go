@@ -1,0 +1,28 @@
+// Package clockfix exercises wallclock inside the deterministic set (it
+// lives under repro/internal/apps): host-clock reads and global randomness
+// are flagged, pure time arithmetic and waived sites are not.
+package clockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the host clock and the global rand stream four ways.
+func Bad() int64 {
+	t := time.Now()                       // want `time\.Now in deterministic package`
+	d := time.Since(t)                    // want `time\.Since in deterministic package`
+	time.Sleep(time.Millisecond)          // want `time\.Sleep in deterministic package`
+	return int64(d) + int64(rand.Intn(4)) // want `math/rand\.Intn in deterministic package`
+}
+
+// Waived documents a host-facing exception.
+func Waived() time.Time {
+	//quanto:wallclock host-side progress stamp, never enters the simulated world
+	return time.Now()
+}
+
+// Fine is pure duration arithmetic: nothing observes the host.
+func Fine(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

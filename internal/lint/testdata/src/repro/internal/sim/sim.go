@@ -1,0 +1,21 @@
+// Package sim stubs repro/internal/sim's domain-tagged derivation API for
+// the rngdomain fixtures: fixture imports resolve testdata-first, so call
+// sites here look to the analyzer exactly like call sites against the real
+// package.
+package sim
+
+// RNG mirrors the real generator's shape; fixtures only need the type.
+type RNG struct{ state uint64 }
+
+// NewRNG mirrors sim.NewRNG.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// DeriveSeed mirrors sim.DeriveSeed; the value is irrelevant to the lint.
+func DeriveSeed(seed uint64, domain string, salt uint64) uint64 {
+	return seed ^ uint64(len(domain)) ^ salt
+}
+
+// DeriveRNG mirrors sim.DeriveRNG.
+func DeriveRNG(seed uint64, domain string, salt uint64) *RNG {
+	return NewRNG(DeriveSeed(seed, domain, salt))
+}

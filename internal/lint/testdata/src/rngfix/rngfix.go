@@ -1,0 +1,28 @@
+// Package rngfix exercises rngdomain: every sim.DeriveSeed / sim.DeriveRNG
+// call site needs a constant, "rngfix/"-prefixed, per-site-distinct domain
+// tag.
+package rngfix
+
+import "repro/internal/sim"
+
+// tagAlpha shows that named constants count as compile-time tags.
+const tagAlpha = "rngfix/alpha"
+
+// Good derives three distinct streams.
+func Good(seed uint64) uint64 {
+	a := sim.DeriveSeed(seed, tagAlpha, 0)
+	b := sim.DeriveSeed(seed, "rngfix/beta", 1)
+	r := sim.DeriveRNG(seed, "rngfix/gamma", 2)
+	_ = r
+	return a ^ b
+}
+
+// Bad collects every rejected form.
+func Bad(seed uint64, who string) uint64 {
+	a := sim.DeriveSeed(seed, "rngfix/alpha", 3) // want `duplicate RNG domain tag "rngfix/alpha"`
+	b := sim.DeriveSeed(seed, who, 0)            // want `domain tag must be a compile-time string constant`
+	c := sim.DeriveSeed(seed, "other/alpha", 0)  // want `must be "rngfix/"-prefixed`
+	d := sim.DeriveRNG(seed, "rngfix/", 0)       // want `must be "rngfix/"-prefixed`
+	_ = d
+	return a ^ b ^ c
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock flags host-time and global-randomness escapes inside a
+// deterministic package. Simulated code must take all time from Ticks and
+// all randomness from the domain-tagged streams internal/sim/rng.go derives;
+// a single `time.Now` in an event handler or a `rand.Intn` in a builder
+// makes two runs of the same Spec+seed diverge, which silently poisons every
+// ConfigKey-addressed cache entry downstream. The analyzer bans the wall
+// clock readers and timer constructors of package time, and *any* reference
+// to math/rand or math/rand/v2 (even seeded use: the algorithm is not pinned
+// across Go releases, which is why the repo carries its own xorshift).
+// Host-facing exceptions (e.g. wall-clock progress reporting outside the
+// simulated world) carry a `//quanto:wallclock <reason>` waiver.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/timers and math/rand in deterministic packages; time flows from Ticks, randomness from sim RNG streams",
+	Run:  runWallClock,
+}
+
+// bannedTimeFuncs are the package time members that read the host clock or
+// schedule against it. Pure arithmetic (time.Duration, time.Unix,
+// time.Parse) stays legal: it does not observe the host.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(pass *Pass) {
+	if !Deterministic(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if !bannedTimeFuncs[obj.Name()] {
+					return true
+				}
+				if _, ok := waiver(pass.Fset, pass.Files, sel.Pos(), "wallclock"); ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: simulated code takes time from Ticks, never the host clock; waive with //quanto:wallclock <reason>",
+					obj.Name(), pass.Pkg.Path())
+			case "math/rand", "math/rand/v2":
+				if _, ok := waiver(pass.Fset, pass.Files, sel.Pos(), "wallclock"); ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "%s.%s in deterministic package %s: randomness must come from the derived streams in internal/sim/rng.go; waive with //quanto:wallclock <reason>",
+					obj.Pkg().Path(), obj.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}

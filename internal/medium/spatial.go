@@ -359,6 +359,7 @@ func (m *Medium) LinkStats() []LinkStat {
 		return nil
 	}
 	out := make([]LinkStat, 0, len(m.sp.tally))
+	//quanto:ordered entries are uniquely keyed by (src, dst) and sorted below before returning
 	for k, t := range m.sp.tally {
 		s := LinkStat{
 			Src: k.src, Dst: k.dst,

@@ -279,6 +279,7 @@ func (w *World) AddNode(id core.NodeID, opts Options) *Node {
 	board.Listen(bench)
 
 	// Resource names for reports.
+	//quanto:ordered writes to distinct dictionary keys, one per resource id; order cannot escape
 	for res, name := range power.ResourceNames() {
 		w.Dict.NameResource(res, name)
 	}

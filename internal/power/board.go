@@ -58,6 +58,7 @@ func NewBoard(volts units.Volts, draws DrawTable, now func() units.Ticks) *Board
 		now:   now,
 	}
 	var maxRes, maxState int
+	//quanto:ordered max over keys is commutative; order cannot escape
 	for k := range draws {
 		if int(k.Res) > maxRes {
 			maxRes = int(k.Res)
@@ -69,6 +70,7 @@ func NewBoard(volts units.Volts, draws DrawTable, now func() units.Ticks) *Board
 	if len(draws) > 0 {
 		b.lutStates = maxState + 1
 		b.lut = make([]units.MicroAmps, (maxRes+1)*b.lutStates)
+		//quanto:ordered each key writes its own LUT cell exactly once; order cannot escape
 		for k, v := range draws {
 			b.lut[int(k.Res)*b.lutStates+int(k.State)] = v
 		}

@@ -24,6 +24,7 @@ func (d DrawTable) Draw(res core.ResourceID, st core.PowerState) units.MicroAmps
 // Clone returns a copy of the table.
 func (d DrawTable) Clone() DrawTable {
 	out := make(DrawTable, len(d))
+	//quanto:ordered map-to-map copy over distinct keys; order cannot escape
 	for k, v := range d {
 		out[k] = v
 	}

@@ -70,6 +70,7 @@ func Apps() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	out := make([]string, 0, len(registry))
+	//quanto:ordered key collection is sorted below before returning
 	for name := range registry {
 		out = append(out, name)
 	}

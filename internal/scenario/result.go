@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -95,9 +97,11 @@ func (r *Result) Values() map[string]float64 {
 		"span_us":      float64(r.SpanUS),
 		"entries":      float64(r.Entries),
 	}
+	//quanto:ordered map-to-map copy under distinct prefixed keys; order cannot escape
 	for name, uj := range r.ActivityUJ {
 		v["act_uj:"+name] = uj
 	}
+	//quanto:ordered map-to-map copy under distinct prefixed keys; order cannot escape
 	for name, x := range r.Metrics {
 		v["metric:"+name] = x
 	}
@@ -150,18 +154,24 @@ func (in *Instance) Finish() (*Result, error) {
 		return nil, err
 	}
 	r := &Result{Spec: in.Spec}
-	byName := make(map[string]float64)
-	for l, uj := range net.EnergyByActivity() {
+	// Labels from different origins can share a display name ("int_TIMERA1"
+	// on every node of a chain), and float addition is not associative — so
+	// the per-name fold runs in sorted label order, never map order, or the
+	// low bits of ActivityUJ would differ between replays of the same seed.
+	byLabel := net.EnergyByActivity()
+	byName := make(map[string]float64, len(byLabel))
+	for _, l := range slices.Sorted(maps.Keys(byLabel)) {
 		name := "Const."
 		if l != analysis.ConstLabel {
 			name = net.Dict.LabelName(l)
 		}
-		byName[name] += uj
+		byName[name] += byLabel[l]
 	}
 	r.ActivityUJ = byName
 	r.TotalUJ = net.TotalEnergyUJ()
 
 	ids := make([]int, 0, len(net.Nodes))
+	//quanto:ordered key collection is sorted below before use
 	for id := range net.Nodes {
 		ids = append(ids, int(id))
 	}

@@ -23,7 +23,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -243,15 +245,12 @@ const (
 	PlacementRGG  = "rgg"
 )
 
-// spatialSeedMix / placementSeedMix decorrelate the spatial layer's RNG
-// streams from the run's other consumers (backoff, interference, ripple):
-// both derive from the run seed, so replicas under derived seeds get fresh
-// placements and fresh channel-loss draws, but neither shares a stream with
-// anything else.
-const (
-	spatialSeedMix   = 0x5A71A1C0DE01
-	placementSeedMix = 0x9B1ACE3E9701
-)
+// The spatial layer's RNG streams derive from the run seed under the
+// domain tags "scenario/spatial" (channel-loss draws) and
+// "scenario/placement" (the rgg layout): replicas under derived seeds get
+// fresh placements and fresh loss draws, but neither shares a stream with
+// the run's other consumers (backoff, interference, ripple). quantovet's
+// rngdomain analyzer keeps the tags distinct across every call site.
 
 // effectiveTxRange returns the spec's delivery cutoff with the default
 // applied, for deriving placement extents.
@@ -287,7 +286,7 @@ func (s *Spec) Positions(n int) ([]medium.Position, error) {
 			// node: n·πr² / side² = 4π at side = r·√n / 2.
 			area = r * math.Sqrt(float64(n)) / 2
 		}
-		seed := splitmix64(s.Seed ^ placementSeedMix)
+		seed := sim.DeriveSeed(s.Seed, "scenario/placement", 0)
 		return medium.PlaceRandomGeometric(n, area, seed), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown placement %q (want %q, %q or %q)",
@@ -311,7 +310,7 @@ func (s *Spec) ApplySpatial(w *mote.World) error {
 		PathLossExp: s.PathLossExp,
 		TxRangeM:    s.TxRangeM,
 		CaptureDB:   s.CaptureDB,
-		Seed:        splitmix64(s.Seed ^ spatialSeedMix),
+		Seed:        sim.DeriveSeed(s.Seed, "scenario/spatial", 0),
 	}, pos)
 }
 
@@ -415,6 +414,7 @@ func (s *Spec) hasBattery() bool {
 	if s.BatteryUAH > 0 {
 		return true
 	}
+	//quanto:ordered existence test ("any value positive") is order-independent
 	for _, v := range s.BatteryNodeUAH {
 		if v > 0 {
 			return true
@@ -482,11 +482,13 @@ func (s *Spec) Validate() error {
 	if s.BatteryUAH < 0 {
 		return fmt.Errorf("scenario: battery_uah must be >= 0, got %v", s.BatteryUAH)
 	}
-	for id, v := range s.BatteryNodeUAH {
+	// Checked in sorted key order so a spec with several bad entries always
+	// reports the same one (map iteration order would pick one at random).
+	for _, id := range slices.Sorted(maps.Keys(s.BatteryNodeUAH)) {
 		if _, err := strconv.Atoi(id); err != nil {
 			return fmt.Errorf("scenario: battery_node_uah key %q is not a node id", id)
 		}
-		if v < 0 {
+		if v := s.BatteryNodeUAH[id]; v < 0 {
 			return fmt.Errorf("scenario: battery_node_uah[%s] must be >= 0, got %v", id, v)
 		}
 	}
@@ -573,6 +575,55 @@ func (s *Spec) TrafficSources(ids []core.NodeID) ([]traffic.Source, *traffic.Rec
 	return srcs, rec, nil
 }
 
+// Every Spec field has a declared cache-key fate, recorded in exactly one of
+// the three lists below (JSON wire names). ConfigKey is the cache key for
+// every sweep result — seed derivation hashes it, Aggregate groups by it,
+// and the sweep-as-a-service direction serves cached results by it — so an
+// undecided field would silently poison the key. quantovet's configkey
+// analyzer errors when a field is missing from all lists, listed twice, or
+// when ConfigKey's clears disagree with the excluded+identity lists; the
+// TestConfigKey* invariance tests pin at runtime what the lists promise.
+var (
+	// configKeyIncluded: configuration proper — the field changes results,
+	// so it is serialized into the key.
+	configKeyIncluded = []string{
+		"app", "duration_us", "nodes", "channel", "volts",
+		"calibrate_dco", "use_dma", "ram_buffer_entries", "continuous_drain",
+		"period_us", "origins", "hold_time_us", "payload_bytes", "start_at_us",
+		"check_period_us", "receive_check_us", "false_positive_hold_us",
+		"no_wifi", "wifi_burst_us", "wifi_gap_us",
+		"placement", "area_m", "path_loss_exp", "tx_range_m", "capture_db",
+		"battery_uah", "battery_node_uah", "harvest", "death_policy",
+		"traffic",
+	}
+	// configKeyExcluded: performance or observation knobs proven not to
+	// change results — a run with any value is byte-identical to a run with
+	// the default — so they are cleared before serialization. Each entry is
+	// pinned by a TestConfigKey* invariance test and by a trace-identity
+	// suite (wheel/heap, partitions, recording).
+	configKeyExcluded = []string{"queue", "partitions", "record_traffic"}
+	// configKeyIdentity: fields that name a run rather than configure it;
+	// cleared so replicas under different seeds/names share a key.
+	configKeyIdentity = []string{"name", "seed"}
+)
+
+// ConfigKeyExcluded returns a copy of the declared exclusion list, in
+// declaration order. The TestConfigKey* invariance tests iterate it and the
+// quantovet meta-test compares it against what the configkey analyzer reads
+// from this file, so docs, code, lint, and tests cannot drift.
+func ConfigKeyExcluded() []string {
+	return append([]string(nil), configKeyExcluded...)
+}
+
+// ConfigKeyIncluded and ConfigKeyIdentity expose the other two fate lists
+// the same way, completing the partition for the tests.
+func ConfigKeyIncluded() []string {
+	return append([]string(nil), configKeyIncluded...)
+}
+func ConfigKeyIdentity() []string {
+	return append([]string(nil), configKeyIdentity...)
+}
+
 // ConfigKey returns the canonical configuration string of a spec: its JSON
 // encoding with the seed and cosmetic name cleared. Two runs with the same
 // ConfigKey are replicas of the same configuration under different seeds;
@@ -638,8 +689,11 @@ type Matrix struct {
 // across seeds (innermost). Every returned spec carries its final derived
 // seed, so execution order cannot affect any run's randomness.
 func (m *Matrix) Expand() ([]Spec, error) {
-	keys := make([]string, 0, len(m.Sweep))
-	for k := range m.Sweep {
+	// Validated in sorted key order so a matrix with several bad sweep lists
+	// always reports the same error (map iteration order would pick one at
+	// random).
+	keys := slices.Sorted(maps.Keys(m.Sweep))
+	for _, k := range keys {
 		if len(m.Sweep[k]) == 0 {
 			return nil, fmt.Errorf("scenario: sweep field %q has no values", k)
 		}
@@ -650,9 +704,7 @@ func (m *Matrix) Expand() ([]Spec, error) {
 			// as independent samples.
 			return nil, fmt.Errorf(`scenario: sweeping %q and setting seeds (%d) are mutually exclusive`, k, m.Seeds)
 		}
-		keys = append(keys, k)
 	}
-	sort.Strings(keys)
 
 	configs := []Spec{m.Base}
 	for _, k := range keys {

@@ -1,5 +1,7 @@
 package sim
 
+import "hash/fnv"
+
 // RNG is a small deterministic pseudo-random number generator
 // (xorshift64star). The standard library's math/rand would also be
 // deterministic for a fixed seed, but pinning the algorithm here guarantees
@@ -53,6 +55,38 @@ func (r *RNG) Ticks(max Ticks) Ticks {
 // stream without coupling their consumption order.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xA5A5A5A5A5A5A5A5)
+}
+
+// DeriveSeed derives the seed of a per-purpose RNG stream from a base seed,
+// a compile-time domain tag naming the consumer ("traffic/sender",
+// "scenario/placement", ...), and a salt distinguishing instances of that
+// purpose (a node id, a slot index; 0 when there is only one).
+//
+// The tag is the determinism contract's unit of stream ownership: distinct
+// tags give decorrelated streams, so no consumer's draws can perturb
+// another's, and a replayed run re-derives every stream identically from the
+// run seed alone. quantovet's rngdomain analyzer enforces the contract
+// statically — every call site outside this package must pass a distinct
+// constant tag prefixed with its package name.
+func DeriveSeed(seed uint64, domain string, salt uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	return mix64(seed ^ mix64(h.Sum64()) ^ mix64(salt*0x9E3779B97F4A7C15))
+}
+
+// DeriveRNG returns a generator on the stream DeriveSeed names.
+func DeriveRNG(seed uint64, domain string, salt uint64) *RNG {
+	return NewRNG(DeriveSeed(seed, domain, salt))
+}
+
+// mix64 is the finalizing mixer of the splitmix64 generator: it turns
+// structured inputs (hashes, ids, xor-combined seeds) into well-distributed
+// ones. The scenario layer's seed derivation uses the same mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // Norm returns an approximately standard-normal variate (Irwin–Hall sum of

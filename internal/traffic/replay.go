@@ -109,6 +109,7 @@ func (tr *Trace) Events() int { return tr.events }
 // Nodes returns the sender ids present in the trace, sorted.
 func (tr *Trace) Nodes() []int {
 	out := make([]int, 0, len(tr.byNode))
+	//quanto:ordered key collection is sorted below before returning
 	for id := range tr.byNode {
 		out = append(out, id)
 	}

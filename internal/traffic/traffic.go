@@ -230,16 +230,15 @@ func (s *Spec) NewShape() (Shape, error) {
 	return nil, fmt.Errorf("traffic: unknown shape %q", s.Shape)
 }
 
-// seedMix decorrelates the traffic streams from every other consumer of the
-// run seed (spatial layout, channel loss, backoff), the same convention
-// scenario uses for its spatial mixes.
-const seedMix = 0x7EA661C0FFEE03
-
 // Sources builds the run's per-sender schedules: one source per sender id,
-// each on a private RNG stream derived from (seed, id), each generated
-// schedule staggered onto tick residue slot (mod len(ids)) so no two senders
-// ever share a send tick. Replay schedules pass through unstaggered — their
-// ticks were recorded from an already tie-free run and must re-arm exactly.
+// each on a private RNG stream derived from the run seed under the
+// "traffic/sender" domain tag with the sender's node id as salt — so traffic
+// streams are decorrelated from every other consumer of the run seed
+// (spatial layout, channel loss, backoff) and from each other. Each
+// generated schedule is staggered onto tick residue slot (mod len(ids)) so
+// no two senders ever share a send tick. Replay schedules pass through
+// unstaggered — their ticks were recorded from an already tie-free run and
+// must re-arm exactly.
 func Sources(sp *Spec, seed uint64, ids []core.NodeID) ([]Source, error) {
 	shape, err := sp.NewShape()
 	if err != nil {
@@ -247,7 +246,7 @@ func Sources(sp *Spec, seed uint64, ids []core.NodeID) ([]Source, error) {
 	}
 	out := make([]Source, len(ids))
 	for slot, id := range ids {
-		rng := sim.NewRNG(splitmix64(seed ^ seedMix ^ (uint64(id) * 0x9E3779B97F4A7C15)))
+		rng := sim.DeriveRNG(seed, "traffic/sender", uint64(id))
 		src := shape.Source(slot, int(id), rng)
 		if sp.Shape != ShapeReplay {
 			src = &staggered{src: src, slot: units.Ticks(slot), stride: units.Ticks(len(ids))}
@@ -432,13 +431,4 @@ func (s *onOffSource) Next() (units.Ticks, bool) {
 			return 0, false
 		}
 	}
-}
-
-// splitmix64 is the same finalizing mixer the scenario layer uses for seed
-// derivation.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
 }
