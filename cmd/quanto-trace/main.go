@@ -544,6 +544,13 @@ func sweep(name string, workers int, queue string, partitions int, trafficJSON s
 // stderr-free stdout only in -json mode; the default output is the rendered
 // table. Either form depends only on the matrix content, never the worker
 // count.
+//
+// Routed runs (routing set in the spec) additionally get the network-layer
+// report: delivery ratio, tree depth, reroutes, and — the study this
+// subcommand exists for — how far past the first death the collection tree
+// kept delivering. In -json mode a routed study nests both reports as
+// {"lifetime": ..., "routes": ...}; unrouted studies keep the legacy
+// single-report shape.
 func lifetime(name string, workers int, jsonOut bool, partitions int, trafficJSON string) error {
 	in, err := openIn(name)
 	if err != nil {
@@ -582,14 +589,29 @@ func lifetime(name string, workers int, jsonOut bool, partitions int, trafficJSO
 		}
 		return fmt.Errorf("no node has a finite battery; set battery_uah or battery_node_uah in the spec")
 	}
+	routes := scenario.Routes(results)
 	w := bufio.NewWriterSize(os.Stdout, 1<<16)
 	if jsonOut {
 		enc := json.NewEncoder(w)
-		if err := enc.Encode(report); err != nil {
+		if routes.Empty() {
+			if err := enc.Encode(report); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(map[string]any{
+			"lifetime": report,
+			"routes":   routes,
+		}); err != nil {
 			return err
 		}
-	} else if _, err := io.WriteString(w, report.Render()); err != nil {
-		return err
+	} else {
+		if _, err := io.WriteString(w, report.Render()); err != nil {
+			return err
+		}
+		if !routes.Empty() {
+			if _, err := io.WriteString(w, "\nrouting:\n"+routes.Render()); err != nil {
+				return err
+			}
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return err

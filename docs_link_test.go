@@ -99,6 +99,7 @@ func TestDocsMentionNewLayers(t *testing.T) {
 		"internal/sim/partition.go", "lookahead",
 		"internal/traffic", "replay",
 		"internal/lint", "quantovet", "quanto:ordered", "quanto:wallclock",
+		"internal/net", "collection tree", "NeighborDied", "mobility",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("ARCHITECTURE.md no longer mentions %q", want)

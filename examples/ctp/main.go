@@ -1,0 +1,88 @@
+// ctp demonstrates the layered networking stack: a relay grid where
+// packets follow a CTP-style collection tree (internal/net) to the sink
+// instead of a hard-coded chain. Beacons carry each node's path cost
+// (ETX-like, estimated from received beacon sequence gaps) and remaining
+// energy margin; every node picks the cheapest parent, biased away from
+// energy-poor ones.
+//
+// The default run is the energy-aware rerouting study: only the grid's
+// center node — the cheapest way from the far corner to the sink — has a
+// finite battery. When it dies mid-run, the death becomes a topology event,
+// the children re-parent around the hole, and delivery demonstrably
+// continues: the network outlives its first node.
+//
+// With -mobility the nodes move (random-waypoint) while routing, and the
+// tree keeps re-forming as links stretch and break.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 3, "simulation seed")
+	secs := flag.Int("secs", 40, "run length in seconds")
+	mobility := flag.String("mobility", "", `mobility model: "waypoint" or "drift" (empty: static)`)
+	speed := flag.Float64("speed", 0, "mover speed in m/s (0: pedestrian 1.3)")
+	flag.Parse()
+
+	spec := scenario.Spec{
+		App:        "relay",
+		Seed:       *seed,
+		DurationUS: int64(*secs) * int64(units.Second),
+		Nodes:      9,
+		Placement:  scenario.PlacementGrid,
+		AreaM:      60, // 30 m pitch: corner-to-corner needs two hops
+		Routing:    scenario.RoutingCTP,
+		// Only the center node depletes: it sits on the cheapest
+		// corner-to-sink path, so its death forces a reroute.
+		BatteryNodeUAH: map[string]float64{"5": 60},
+		Mobility:       *mobility,
+		SpeedMPS:       *speed,
+	}
+	in, err := scenario.Build(spec)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	in.Run()
+	r := in.App.(*apps.Relay)
+
+	gen, del := r.Stats()
+	fmt.Printf("packets: generated=%d delivered=%d (no-route drops=%d, ttl drops=%d)\n\n",
+		gen, del, r.NoRoute(), r.TTLDrops())
+
+	fmt.Println("final tree (parent chosen by advertised cost + link ETX + energy bias):")
+	for i, n := range r.World.Nodes {
+		rt := r.Tree.Router(i)
+		switch p, ok := rt.Parent(); {
+		case n.ID == r.Nodes[len(r.Nodes)-1].ID:
+			fmt.Printf("  node %d: root (the sink)\n", n.ID)
+		case !n.Alive():
+			fmt.Printf("  node %d: dead\n", n.ID)
+		case ok:
+			fmt.Printf("  node %d: parent %d  (path ETX %.2f)\n", n.ID, p, rt.PathETX())
+		default:
+			fmt.Printf("  node %d: no route\n", n.ID)
+		}
+	}
+
+	ts := r.Tree.Stats()
+	fmt.Printf("\nrouting plane: %d/%d routed, %d beacons sent, %d parent changes, %d loops avoided\n",
+		ts.Routed, len(r.World.Nodes)-1, ts.BeaconsTx, ts.ParentChanges, ts.LoopAvoided)
+
+	for _, d := range r.World.Deaths {
+		fmt.Printf("\nnode %d died at %.1f s — last delivery %.1f s: the tree rerouted and the\n"+
+			"network outlived its first death by %.1f s\n",
+			d.Node, float64(d.At)/1e6, float64(r.LastDeliveredAt())/1e6,
+			float64(r.LastDeliveredAt()-d.At)/1e6)
+	}
+	if len(r.World.Deaths) == 0 {
+		fmt.Printf("\nno deaths this run; last delivery at %.1f s\n", float64(r.LastDeliveredAt())/1e6)
+	}
+}

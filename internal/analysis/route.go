@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// RouteSample is one routed run's network-layer outcome: end-to-end data
+// counters, tree shape, and the lifetime marks that tell whether rerouting
+// actually extended the network's useful life past the first death.
+type RouteSample struct {
+	Generated      float64
+	Delivered      float64
+	ParentChanges  float64
+	LoopAvoided    float64
+	NoRoute        float64
+	TTLDrops       float64
+	BeaconsTx      float64
+	BeaconsRx      float64
+	MeanPathETX    float64
+	LastDeliveryUS float64
+	// FirstDeathUS is negative when no node died in the run; the lifetime
+	// extension statistic only folds runs that saw a death.
+	FirstDeathUS float64
+}
+
+// routeGroup folds one configuration's samples.
+type routeGroup struct {
+	key       string
+	runs      int
+	delivery  RunningStat // delivered/generated per run
+	pathETX   RunningStat
+	reroutes  RunningStat // parent changes per run
+	loops     RunningStat // loop-avoided + ttl drops: the transient-loop tax
+	noRoute   RunningStat
+	beacons   RunningStat // control-plane sends per run
+	lastUS    RunningStat
+	extension RunningStat // last delivery minus first death, deaths only
+}
+
+// RouteReport folds RouteSamples across runs into per-configuration routing
+// statistics: delivery ratio, tree depth (mean path ETX), reroute and loop
+// counts, control-plane overhead, and — for runs with battery deaths — how
+// far past the first death the network kept delivering. Groups keep
+// insertion order so a deterministic run sequence renders deterministically,
+// the same contract as LifetimeReport and Aggregate.
+type RouteReport struct {
+	order  []string
+	groups map[string]*routeGroup
+}
+
+// NewRouteReport returns an empty report.
+func NewRouteReport() *RouteReport {
+	return &RouteReport{groups: make(map[string]*routeGroup)}
+}
+
+// Add folds one routed run into the named group (for sweeps, the spec's
+// ConfigKey).
+func (rr *RouteReport) Add(group string, s RouteSample) {
+	g := rr.groups[group]
+	if g == nil {
+		g = &routeGroup{key: group}
+		rr.groups[group] = g
+		rr.order = append(rr.order, group)
+	}
+	g.runs++
+	if s.Generated > 0 {
+		g.delivery.Add(s.Delivered / s.Generated)
+	}
+	g.pathETX.Add(s.MeanPathETX)
+	g.reroutes.Add(s.ParentChanges)
+	g.loops.Add(s.LoopAvoided + s.TTLDrops)
+	g.noRoute.Add(s.NoRoute)
+	g.beacons.Add(s.BeaconsTx)
+	g.lastUS.Add(s.LastDeliveryUS)
+	if s.FirstDeathUS >= 0 {
+		g.extension.Add(s.LastDeliveryUS - s.FirstDeathUS)
+	}
+}
+
+// Empty reports whether no routed runs were folded in.
+func (rr *RouteReport) Empty() bool { return len(rr.order) == 0 }
+
+// routeGroupJSON is the serialized per-group view.
+type routeGroupJSON struct {
+	Key               string  `json:"key"`
+	Runs              int     `json:"runs"`
+	MeanDeliveryRatio float64 `json:"mean_delivery_ratio"`
+	CI95DeliveryRatio float64 `json:"ci95_delivery_ratio"`
+	MeanPathETX       float64 `json:"mean_path_etx"`
+	MeanParentChanges float64 `json:"mean_parent_changes"`
+	MeanLoopDrops     float64 `json:"mean_loop_drops"`
+	MeanNoRoute       float64 `json:"mean_no_route"`
+	MeanBeaconsTx     float64 `json:"mean_beacons_tx"`
+	MeanLastDeliveryS float64 `json:"mean_last_delivery_s"`
+	// Deaths counts the folded runs that saw a battery death; the extension
+	// stats cover only those.
+	Deaths         int     `json:"deaths,omitempty"`
+	MeanExtensionS float64 `json:"mean_extension_s,omitempty"`
+	MinExtensionS  float64 `json:"min_extension_s,omitempty"`
+	CI95ExtensionS float64 `json:"ci95_extension_s,omitempty"`
+}
+
+func (g *routeGroup) groupJSON() routeGroupJSON {
+	gj := routeGroupJSON{
+		Key:               g.key,
+		Runs:              g.runs,
+		MeanDeliveryRatio: g.delivery.Mean(),
+		CI95DeliveryRatio: g.delivery.CI95(),
+		MeanPathETX:       g.pathETX.Mean(),
+		MeanParentChanges: g.reroutes.Mean(),
+		MeanLoopDrops:     g.loops.Mean(),
+		MeanNoRoute:       g.noRoute.Mean(),
+		MeanBeaconsTx:     g.beacons.Mean(),
+		MeanLastDeliveryS: g.lastUS.Mean() / 1e6,
+	}
+	if n := g.extension.N(); n > 0 {
+		gj.Deaths = n
+		gj.MeanExtensionS = g.extension.Mean() / 1e6
+		gj.MinExtensionS = g.extension.Min() / 1e6
+		gj.CI95ExtensionS = g.extension.CI95() / 1e6
+	}
+	return gj
+}
+
+// MarshalJSON renders the report deterministically: groups in insertion
+// order.
+func (rr *RouteReport) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Groups []routeGroupJSON `json:"groups"`
+	}{Groups: make([]routeGroupJSON, 0, len(rr.order))}
+	for _, key := range rr.order {
+		out.Groups = append(out.Groups, rr.groups[key].groupJSON())
+	}
+	return json.Marshal(out)
+}
+
+// Render returns the human-readable routing table: one row per
+// configuration with delivery ratio, tree depth, reroute/loop/overhead
+// counts, and — when a run saw deaths — the mean post-death delivery
+// extension in seconds.
+func (rr *RouteReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-40s %5s %9s %8s %9s %7s %9s %12s\n",
+		"config", "runs", "delivery", "pathETX", "reroutes", "loops", "beacons", "extension")
+	for _, key := range rr.order {
+		gj := rr.groups[key].groupJSON()
+		ext := "-"
+		if gj.Deaths > 0 {
+			ext = fmt.Sprintf("%+.1fs (n=%d)", gj.MeanExtensionS, gj.Deaths)
+		}
+		fmt.Fprintf(&sb, "%-40s %5d %8.1f%% %8.2f %9.1f %7.1f %9.0f %12s\n",
+			gj.Key, gj.Runs, gj.MeanDeliveryRatio*100, gj.MeanPathETX,
+			gj.MeanParentChanges, gj.MeanLoopDrops, gj.MeanBeaconsTx, ext)
+	}
+	return sb.String()
+}

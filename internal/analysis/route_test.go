@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRouteReportFold pins the fold semantics: delivery ratio is per-run
+// (not pooled), the extension statistic only covers runs that saw a death,
+// and groups render in insertion order.
+func TestRouteReportFold(t *testing.T) {
+	rr := NewRouteReport()
+	if !rr.Empty() {
+		t.Fatal("new report not empty")
+	}
+	rr.Add("b", RouteSample{Generated: 100, Delivered: 80, MeanPathETX: 2, FirstDeathUS: -1})
+	rr.Add("b", RouteSample{Generated: 100, Delivered: 60, MeanPathETX: 2,
+		FirstDeathUS: 10e6, LastDeliveryUS: 25e6})
+	rr.Add("a", RouteSample{Generated: 10, Delivered: 10, MeanPathETX: 1, FirstDeathUS: -1})
+	if rr.Empty() {
+		t.Fatal("report with samples reads empty")
+	}
+
+	raw, err := json.Marshal(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Groups []struct {
+			Key               string  `json:"key"`
+			Runs              int     `json:"runs"`
+			MeanDeliveryRatio float64 `json:"mean_delivery_ratio"`
+			Deaths            int     `json:"deaths"`
+			MeanExtensionS    float64 `json:"mean_extension_s"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Groups) != 2 || got.Groups[0].Key != "b" || got.Groups[1].Key != "a" {
+		t.Fatalf("groups not in insertion order: %s", raw)
+	}
+	b := got.Groups[0]
+	if b.Runs != 2 || b.MeanDeliveryRatio != 0.7 {
+		t.Errorf("group b: runs=%d delivery=%v, want 2 runs at 0.7", b.Runs, b.MeanDeliveryRatio)
+	}
+	if b.Deaths != 1 || b.MeanExtensionS != 15 {
+		t.Errorf("group b extension: deaths=%d mean=%v, want 1 death, +15 s", b.Deaths, b.MeanExtensionS)
+	}
+	if got.Groups[1].Deaths != 0 {
+		t.Errorf("deathless group a reports %d deaths", got.Groups[1].Deaths)
+	}
+
+	out := rr.Render()
+	if !strings.Contains(out, "+15.0s (n=1)") {
+		t.Errorf("render lacks the extension column:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") || !strings.Contains(out, "70.0%") {
+		t.Errorf("render lacks delivery ratios:\n%s", out)
+	}
+}

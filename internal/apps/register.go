@@ -42,8 +42,21 @@ func noTraffic(spec scenario.Spec, app string) error {
 	return nil
 }
 
+// noRouting rejects a routed forwarding plane on apps whose wiring is
+// fixed — same rationale as noTraffic: a silently inert "routing" sweep
+// axis would replicate one behavior under many ConfigKeys.
+func noRouting(spec scenario.Spec, app string) error {
+	if spec.Routing != "" {
+		return fmt.Errorf("%s does not honor routing (supported: relay)", app)
+	}
+	return nil
+}
+
 func buildBlink(spec scenario.Spec) (*scenario.Instance, error) {
 	if err := noTraffic(spec, "blink"); err != nil {
+		return nil, err
+	}
+	if err := noRouting(spec, "blink"); err != nil {
 		return nil, err
 	}
 	w := mote.NewWorldQueue(spec.Seed, spec.Queue)
@@ -73,6 +86,9 @@ func perNodeBattery(spec scenario.Spec) func(id core.NodeID, o *mote.Options) {
 }
 
 func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
+	if err := noRouting(spec, "bounce"); err != nil {
+		return nil, err
+	}
 	cfg := DefaultBounceConfig()
 	cfg.Base = baseOptions(spec)
 	cfg.PerNode = perNodeBattery(spec)
@@ -120,6 +136,9 @@ func buildBounce(spec scenario.Spec) (*scenario.Instance, error) {
 
 func buildLPL(spec scenario.Spec) (*scenario.Instance, error) {
 	if err := noTraffic(spec, "lpl"); err != nil {
+		return nil, err
+	}
+	if err := noRouting(spec, "lpl"); err != nil {
 		return nil, err
 	}
 	channel := spec.Channel
@@ -183,6 +202,10 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 	}
 	cfg.Origins = spec.Origins
 	cfg.Queue = spec.Queue
+	cfg.Routing = spec.Routing
+	if spec.BeaconPeriodMS > 0 {
+		cfg.BeaconPeriod = units.Ticks(spec.BeaconPeriodMS) * units.Millisecond
+	}
 	w, err := spec.NewWorld(cfg.Hops)
 	if err != nil {
 		return nil, err
@@ -203,16 +226,33 @@ func buildRelay(spec scenario.Spec) (*scenario.Instance, error) {
 		Traffic: rec,
 		Metrics: func() map[string]float64 {
 			gen, del := r.Stats()
-			return map[string]float64{
+			m := map[string]float64{
 				"generated": float64(gen),
 				"delivered": float64(del),
 				"dropped":   float64(r.Dropped()),
 			}
+			if r.Tree != nil {
+				ts := r.Tree.Stats()
+				m["net_routed"] = float64(ts.Routed)
+				m["net_beacons_tx"] = float64(ts.BeaconsTx)
+				m["net_beacons_rx"] = float64(ts.BeaconsRx)
+				m["net_beacons_skipped"] = float64(ts.BeaconsSkipped)
+				m["net_parent_changes"] = float64(ts.ParentChanges)
+				m["net_loop_avoided"] = float64(ts.LoopAvoided)
+				m["net_no_route"] = float64(r.NoRoute())
+				m["net_ttl_drops"] = float64(r.TTLDrops())
+				m["net_last_delivery_us"] = float64(r.LastDeliveredAt())
+				m["net_path_etx_mean"] = r.Tree.MeanPathETX()
+			}
+			return m
 		},
 	}, nil
 }
 
 func buildSenseSend(spec scenario.Spec) (*scenario.Instance, error) {
+	if err := noRouting(spec, "sensesend"); err != nil {
+		return nil, err
+	}
 	cfg := DefaultSenseSendConfig()
 	cfg.Base = baseOptions(spec)
 	cfg.PerNode = perNodeBattery(spec)
@@ -262,6 +302,9 @@ func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
 	if err := noTraffic(spec, "timerbug"); err != nil {
 		return nil, err
 	}
+	if err := noRouting(spec, "timerbug"); err != nil {
+		return nil, err
+	}
 	// The case study's single node is id 32 (as in Figure 15), so its
 	// battery override key is "32", not "1".
 	opts := spec.MoteOptions()
@@ -281,6 +324,9 @@ func buildTimerBug(spec scenario.Spec) (*scenario.Instance, error) {
 
 func buildDMACompare(spec scenario.Spec) (*scenario.Instance, error) {
 	if err := noTraffic(spec, "dma"); err != nil {
+		return nil, err
+	}
+	if err := noRouting(spec, "dma"); err != nil {
 		return nil, err
 	}
 	payload := spec.PayloadBytes

@@ -4,6 +4,7 @@ import (
 	"repro/internal/am"
 	"repro/internal/core"
 	"repro/internal/mote"
+	"repro/internal/net"
 	"repro/internal/radio"
 	"repro/internal/traffic"
 	"repro/internal/units"
@@ -27,6 +28,10 @@ type Relay struct {
 
 	Act core.Label // the first origin's activity ("Flood")
 
+	// Tree is the collection tree routing the packets in collect mode
+	// (Routing set); nil on the classic fixed chain.
+	Tree *net.Tree
+
 	period units.Ticks
 	// generated/dropped are per-node slots (indexed by line position), not
 	// shared counters: under a partitioned world each node's events run on
@@ -35,6 +40,13 @@ type Relay struct {
 	generated []uint64
 	dropped   []uint64
 	delivered uint64
+
+	// Collect-mode slots (same single-writer discipline): packets dropped
+	// for want of a route, packets whose TTL expired (a transient routing
+	// loop), and the sink-side timestamp of the last delivery.
+	noRoute         []uint64
+	ttlDrops        []uint64
+	lastDeliveredAt units.Ticks
 }
 
 // RelayConfig parameterizes the line network.
@@ -69,6 +81,15 @@ type RelayConfig struct {
 	// TrafficRec, when non-nil, captures every origin's realized sends
 	// (slot i records origin i) for record-and-replay.
 	TrafficRec *traffic.Recorder
+	// Routing selects the forwarding plane: "" keeps the classic fixed
+	// chain — byte-identical to every historical trace — and "ctp" routes
+	// packets along a collection tree rooted at the line's final node
+	// (internal/net), so topology changes (death, mobility) change where
+	// packets flow instead of severing the line.
+	Routing string
+	// BeaconPeriod spaces the tree's routing beacons in collect mode
+	// (default net.DefaultBeaconPeriod). Ignored on the fixed chain.
+	BeaconPeriod units.Ticks
 }
 
 // RelayOrigins returns the sender node ids a relay config's traffic shape
@@ -110,6 +131,11 @@ func NewRelay(seed uint64, cfg RelayConfig) *Relay {
 	if cfg.Origins > cfg.Hops-1 {
 		// The final node is the sink; it never originates.
 		cfg.Origins = cfg.Hops - 1
+	}
+	if cfg.Routing != "" {
+		// The routed forwarding plane lives in its own constructor so the
+		// classic path below stays textually untouched — and byte-identical.
+		return newCollectRelay(seed, cfg)
 	}
 	w := cfg.World
 	if w == nil {
@@ -261,3 +287,28 @@ func (r *Relay) Dropped() uint64 {
 	}
 	return d
 }
+
+// NoRoute returns packets dropped because the node had no parent yet (tree
+// still forming, or re-forming after a death). Always 0 on the fixed chain.
+func (r *Relay) NoRoute() uint64 {
+	var d uint64
+	for _, n := range r.noRoute {
+		d += n
+	}
+	return d
+}
+
+// TTLDrops returns packets whose hop budget expired — the data-plane
+// backstop against transient routing loops. Always 0 on the fixed chain.
+func (r *Relay) TTLDrops() uint64 {
+	var d uint64
+	for _, n := range r.ttlDrops {
+		d += n
+	}
+	return d
+}
+
+// LastDeliveredAt returns when the sink last received a packet (0: never).
+// The cascade scenarios read it to show deliveries continuing past the
+// first relay death.
+func (r *Relay) LastDeliveredAt() units.Ticks { return r.lastDeliveredAt }

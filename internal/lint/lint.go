@@ -143,6 +143,7 @@ var DeterministicPackages = []string{
 	"repro/internal/mote",
 	"repro/internal/power",
 	"repro/internal/radio",
+	"repro/internal/net",
 }
 
 // Deterministic reports whether path is one of the deterministic packages or

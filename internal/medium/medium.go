@@ -97,7 +97,8 @@ type Medium struct {
 
 	active []*Frame // transmissions currently in the air
 
-	sp *spatial // nil: legacy broadcast propagation
+	sp  *spatial  // nil: legacy broadcast propagation
+	mob *mobility // nil: every node is stationary
 
 	// expireFn / finalizeFn are the shared per-frame event callbacks; the
 	// frame rides along as the event argument so transmitting allocates no
@@ -151,6 +152,12 @@ func (m *Medium) PrepareWindow(limit units.Ticks) {
 	const slack = 1 << 20
 	for _, w := range m.wifi {
 		w.ensure(limit + slack)
+	}
+	if m.mob != nil {
+		k := int((limit + slack) / m.mob.step)
+		for _, e := range m.mob.movers {
+			e.ensure(k, m.mob.step)
+		}
 	}
 }
 
@@ -242,13 +249,13 @@ func (m *Medium) EnergyOnAt(node core.NodeID, ch int, t units.Ticks) float64 {
 		return m.EnergyOn(ch, t)
 	}
 	var e float64
-	at, ok := m.sp.pos[node]
+	at, ok := m.positionAt(node, t)
 	for _, f := range m.active {
 		if f.Channel != ch || f.SentAt > t || t >= f.SentAt+f.Airtime {
 			continue
 		}
 		if ok {
-			src, known := m.sp.pos[f.Src]
+			src, known := m.positionAt(f.Src, t)
 			if known && src.Distance(at) > m.sp.cfg.TxRangeM {
 				continue
 			}

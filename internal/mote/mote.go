@@ -143,6 +143,11 @@ type World struct {
 	// OnDeath, when set, observes each depletion right after the node has
 	// been halted (apps use it to count cascade effects).
 	OnDeath func(n *Node, at units.Ticks)
+	// deathSubs are additional depletion observers (SubscribeDeath), called
+	// after OnDeath in subscription order. The routing layer uses this to
+	// turn battery deaths into topology events without claiming the single
+	// OnDeath slot apps already own.
+	deathSubs []func(n *Node, at units.Ticks)
 
 	seed uint64
 	byID map[core.NodeID]*Node
@@ -362,6 +367,9 @@ func (w *World) killNode(n *Node, at units.Ticks, haltWorld bool) {
 	if w.OnDeath != nil {
 		w.OnDeath(n, at)
 	}
+	for _, sub := range w.deathSubs {
+		sub(n, at)
+	}
 	if haltWorld {
 		w.Sim.Halt()
 		if w.group != nil {
@@ -408,6 +416,13 @@ func (w *World) StampEnd() {
 			n.Drain.Flush()
 		}
 	}
+}
+
+// SubscribeDeath adds a depletion observer without displacing OnDeath.
+// Subscribers run in subscription order, after OnDeath, inside the death
+// event itself — the node is already off the air and killed.
+func (w *World) SubscribeDeath(fn func(n *Node, at units.Ticks)) {
+	w.deathSubs = append(w.deathSubs, fn)
 }
 
 // Node returns the node with the given id, or nil.

@@ -27,6 +27,12 @@ func FuzzSpecJSON(f *testing.F) {
 		`{"app":"relay","record_traffic":true}`,
 		`{"app":"blink","battery_uah":0.5,"death_policy":"halt_world","partitions":4}`,
 		`{"app":"relay","duration_us":1e18,"traffic":{"shape":"diurnal","rps":1e308,"period_us":1}}`,
+		`{"app":"relay","duration_us":2000000,"nodes":6,"placement":"line","routing":"ctp"}`,
+		`{"app":"relay","duration_us":2000000,"nodes":9,"placement":"grid","routing":"ctp","beacon_period_ms":500,"battery_node_uah":{"5":60}}`,
+		`{"app":"relay","duration_us":2000000,"nodes":6,"placement":"line","mobility":"waypoint","speed_mps":8}`,
+		`{"app":"relay","duration_us":2000000,"nodes":6,"placement":"rgg","routing":"ctp","mobility":"drift"}`,
+		`{"app":"blink","routing":"ctp"}`,
+		`{"app":"relay","placement":"line","routing":"dsr","beacon_period_ms":-5,"speed_mps":1e308}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -125,6 +125,46 @@ func TestPartitionTraceIdentity(t *testing.T) {
 			}
 			return s
 		}(),
+		// Routed forwarding plane: beacons, parent selection, and per-packet
+		// routing decisions all cross partition borders. Every routing event
+		// must land on the same tick in the same order whatever K is.
+		func() scenario.Spec {
+			s := base("relay", 3*units.Second)
+			s.Nodes = 12
+			s.Origins = 4
+			s.PeriodUS = int64(250 * units.Millisecond)
+			s.Placement = scenario.PlacementLine
+			s.Routing = scenario.RoutingCTP
+			return s
+		}(),
+		// Routed plus mid-run battery deaths: a death fans NeighborDied
+		// events out to every survivor's clock at the topology priority, and
+		// the resulting reroutes must replay identically across K.
+		func() scenario.Spec {
+			s := base("relay", 4*units.Second)
+			s.Nodes = 10
+			s.Origins = 3
+			s.PeriodUS = int64(250 * units.Millisecond)
+			s.Placement = scenario.PlacementLine
+			s.Routing = scenario.RoutingCTP
+			s.BatteryUAH = 0.9
+			return s
+		}(),
+		// Routed plus mobility: positions change every MobilityStep, the
+		// medium's neighbor index is patched incrementally, and link
+		// qualities (hence parent choices) shift mid-run. The speed is
+		// exaggerated so a 3 s run actually crosses neighborhoods.
+		func() scenario.Spec {
+			s := base("relay", 3*units.Second)
+			s.Nodes = 12
+			s.Origins = 4
+			s.PeriodUS = int64(250 * units.Millisecond)
+			s.Placement = scenario.PlacementGrid
+			s.Routing = scenario.RoutingCTP
+			s.Mobility = scenario.MobilityWaypoint
+			s.SpeedMPS = 12
+			return s
+		}(),
 	}
 	// A replayed trace must also be partition-invariant: record a shaped run
 	// once, then drive every partition count from the recorded file.

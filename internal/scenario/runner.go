@@ -106,6 +106,42 @@ func Lifetimes(results []*Result) *analysis.LifetimeReport {
 	return lr
 }
 
+// Routes folds the routed runs of a result list into a RouteReport: one
+// group per ConfigKey with delivery ratio, tree depth, reroute counts, and —
+// for runs with battery deaths — the post-death delivery extension. Runs
+// without a routing plane (no net_* metrics) contribute nothing, so the
+// report stays empty for classic sweeps and the CLI can skip rendering it.
+func Routes(results []*Result) *analysis.RouteReport {
+	rr := analysis.NewRouteReport()
+	for _, r := range results {
+		if r == nil || r.Error != "" {
+			continue
+		}
+		m := r.Metrics
+		if _, routed := m["net_routed"]; !routed {
+			continue
+		}
+		s := analysis.RouteSample{
+			Generated:      m["generated"],
+			Delivered:      m["delivered"],
+			ParentChanges:  m["net_parent_changes"],
+			LoopAvoided:    m["net_loop_avoided"],
+			NoRoute:        m["net_no_route"],
+			TTLDrops:       m["net_ttl_drops"],
+			BeaconsTx:      m["net_beacons_tx"],
+			BeaconsRx:      m["net_beacons_rx"],
+			MeanPathETX:    m["net_path_etx_mean"],
+			LastDeliveryUS: m["net_last_delivery_us"],
+			FirstDeathUS:   -1,
+		}
+		if r.Deaths > 0 {
+			s.FirstDeathUS = float64(r.FirstDeathUS)
+		}
+		rr.Add(r.Spec.ConfigKey(), s)
+	}
+	return rr
+}
+
 // Aggregate folds a result list into per-configuration statistics: runs
 // sharing a ConfigKey (replicas across seeds) are one group, and every
 // numeric output — total energy, average power, per-activity energy, app

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/medium"
 	"repro/internal/mote"
+	"repro/internal/net"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -188,6 +189,32 @@ type Spec struct {
 	// apps as placement.
 	CaptureDB float64 `json:"capture_db,omitempty"`
 
+	// Routing selects a routed forwarding plane instead of the app's fixed
+	// next-hop wiring: "ctp" grows a collection tree (internal/net) rooted
+	// at the sink — ETX-style link estimation from beacon losses, gradient-
+	// checked parent selection, energy-aware rerouting around battery
+	// deaths. Empty (the default) keeps the app's classic forwarding,
+	// byte-identical to all pre-routing runs. Requires a placement (a
+	// broadcast medium has no topology for a tree to track). Honored by:
+	// relay.
+	Routing string `json:"routing,omitempty"`
+	// BeaconPeriodMS spaces the routing layer's beacons in milliseconds.
+	// 0 selects 1000 ms. Requires routing. Honored by: relay.
+	BeaconPeriodMS int64 `json:"beacon_period_ms,omitempty"`
+	// Mobility puts every node in motion: "waypoint" (random waypoint —
+	// walk to a uniform target, pick another) or "drift" (one random
+	// heading forever, reflecting off the area walls). Positions step on a
+	// fixed epoch and the medium patches its neighbor index incrementally,
+	// so links appear and vanish as nodes roam. Paths draw only from
+	// per-node streams derived from the run seed, so mobile runs stay
+	// byte-identical across -workers and -partitions. Requires a placement.
+	// Honored by: bounce, dma, relay, sensesend (the spatial apps).
+	Mobility string `json:"mobility,omitempty"`
+	// SpeedMPS is every mover's speed in meters per second. 0 selects 1.3
+	// (pedestrian). Requires mobility. Honored by: the same apps as
+	// Mobility.
+	SpeedMPS float64 `json:"speed_mps,omitempty"`
+
 	// BatteryUAH gives every node a finite battery of that many
 	// microamp-hours (default 0: infinite supply). A node halts at the
 	// exact instant its integrated net charge crosses zero; results then
@@ -245,6 +272,21 @@ const (
 	PlacementRGG  = "rgg"
 )
 
+// Routing planes for Spec.Routing.
+const (
+	RoutingCTP = "ctp"
+)
+
+// Mobility models for Spec.Mobility.
+const (
+	MobilityWaypoint = "waypoint"
+	MobilityDrift    = "drift"
+)
+
+// DefaultSpeedMPS is the mover speed when the spec leaves SpeedMPS zero:
+// pedestrian pace.
+const DefaultSpeedMPS = 1.3
+
 // The spatial layer's RNG streams derive from the run seed under the
 // domain tags "scenario/spatial" (channel-loss draws) and
 // "scenario/placement" (the rgg layout): replicas under derived seeds get
@@ -261,31 +303,40 @@ func (s *Spec) effectiveTxRange() float64 {
 	return medium.DefaultTxRangeM
 }
 
+// effectiveArea returns the deployment extent in meters for n nodes, with
+// the same per-placement defaults Positions applies. Mobility models use it
+// as the square the movers roam (and reflect) within.
+func (s *Spec) effectiveArea(n int) float64 {
+	if s.AreaM > 0 {
+		return s.AreaM
+	}
+	r := s.effectiveTxRange()
+	switch s.Placement {
+	case PlacementLine:
+		return 0.5 * r * float64(n-1)
+	case PlacementGrid:
+		cols := int(math.Ceil(math.Sqrt(float64(n))))
+		return 0.5 * r * float64(cols-1)
+	case PlacementRGG:
+		// Side giving ~4π (≈12.6) expected in-range neighbors per
+		// node: n·πr² / side² = 4π at side = r·√n / 2.
+		return r * math.Sqrt(float64(n)) / 2
+	}
+	return 0
+}
+
 // Positions computes the spec's node placement for n nodes (indexed in node
 // creation order). It is a pure function of (spec, n): the rgg draw comes
 // from the run seed, so a replicated sweep samples fresh layouts while any
 // single run stays exactly reproducible.
 func (s *Spec) Positions(n int) ([]medium.Position, error) {
-	r := s.effectiveTxRange()
-	area := s.AreaM
+	area := s.effectiveArea(n)
 	switch s.Placement {
 	case PlacementLine:
-		if area == 0 {
-			area = 0.5 * r * float64(n-1)
-		}
 		return medium.PlaceLine(n, area), nil
 	case PlacementGrid:
-		if area == 0 {
-			cols := int(math.Ceil(math.Sqrt(float64(n))))
-			area = 0.5 * r * float64(cols-1)
-		}
 		return medium.PlaceGrid(n, area), nil
 	case PlacementRGG:
-		if area == 0 {
-			// Side giving ~4π (≈12.6) expected in-range neighbors per
-			// node: n·πr² / side² = 4π at side = r·√n / 2.
-			area = r * math.Sqrt(float64(n)) / 2
-		}
 		seed := sim.DeriveSeed(s.Seed, "scenario/placement", 0)
 		return medium.PlaceRandomGeometric(n, area, seed), nil
 	default:
@@ -306,12 +357,47 @@ func (s *Spec) ApplySpatial(w *mote.World) error {
 	if err != nil {
 		return err
 	}
-	return w.ConfigureSpatial(medium.SpatialConfig{
+	if err := w.ConfigureSpatial(medium.SpatialConfig{
 		PathLossExp: s.PathLossExp,
 		TxRangeM:    s.TxRangeM,
 		CaptureDB:   s.CaptureDB,
 		Seed:        sim.DeriveSeed(s.Seed, "scenario/spatial", 0),
-	}, pos)
+	}, pos); err != nil {
+		return err
+	}
+	return s.applyMobility(w, pos)
+}
+
+// applyMobility attaches a mover to every node per the spec's mobility
+// fields: the placement supplies each node's starting position, and every
+// path is a pure function of (seed, node id), so mobile runs replay
+// byte-identically under any worker or partition count.
+func (s *Spec) applyMobility(w *mote.World, pos []medium.Position) error {
+	if s.Mobility == "" {
+		return nil
+	}
+	w.Medium.EnableMobility(net.MobilityStep)
+	speed := s.SpeedMPS
+	if speed == 0 {
+		speed = DefaultSpeedMPS
+	}
+	area := s.effectiveArea(len(w.Nodes))
+	for i, n := range w.Nodes {
+		switch s.Mobility {
+		case MobilityWaypoint:
+			w.Medium.SetMover(n.ID, net.NewWaypoint(s.Seed, n.ID, pos[i], area, speed))
+		case MobilityDrift:
+			w.Medium.SetMover(n.ID, net.NewDrift(s.Seed, n.ID, pos[i], area, speed))
+		default:
+			return fmt.Errorf("scenario: unknown mobility %q (want %q or %q)",
+				s.Mobility, MobilityWaypoint, MobilityDrift)
+		}
+	}
+	// SetMover re-seats each node at its model's (reflected) start, which
+	// invalidates the warmed neighbor index; re-warm so the first transmit
+	// does not pay the rebuild.
+	w.Medium.WarmNeighbors()
+	return nil
 }
 
 // NewWorld constructs the world an app builder should populate for n nodes:
@@ -543,6 +629,35 @@ func (s *Spec) Validate() error {
 	if s.DeathPolicy != "" && !s.hasBattery() {
 		return fmt.Errorf("scenario: death_policy requires a finite battery")
 	}
+	switch s.Routing {
+	case "", RoutingCTP:
+	default:
+		return fmt.Errorf("scenario: unknown routing %q (want %q)", s.Routing, RoutingCTP)
+	}
+	if s.Routing != "" && s.Placement == "" {
+		return fmt.Errorf("scenario: routing requires a placement (a broadcast medium has no topology to route over)")
+	}
+	if s.BeaconPeriodMS < 0 {
+		return fmt.Errorf("scenario: beacon_period_ms must be >= 0, got %d", s.BeaconPeriodMS)
+	}
+	if s.BeaconPeriodMS > 0 && s.Routing == "" {
+		return fmt.Errorf("scenario: beacon_period_ms requires routing")
+	}
+	switch s.Mobility {
+	case "", MobilityWaypoint, MobilityDrift:
+	default:
+		return fmt.Errorf("scenario: unknown mobility %q (want %q or %q)",
+			s.Mobility, MobilityWaypoint, MobilityDrift)
+	}
+	if s.Mobility != "" && s.Placement == "" {
+		return fmt.Errorf("scenario: mobility requires a placement")
+	}
+	if s.SpeedMPS < 0 {
+		return fmt.Errorf("scenario: speed_mps must be >= 0, got %v", s.SpeedMPS)
+	}
+	if s.SpeedMPS > 0 && s.Mobility == "" {
+		return fmt.Errorf("scenario: speed_mps requires mobility")
+	}
 	if s.Traffic != nil {
 		if err := s.Traffic.Validate(); err != nil {
 			return err
@@ -593,6 +708,7 @@ var (
 		"check_period_us", "receive_check_us", "false_positive_hold_us",
 		"no_wifi", "wifi_burst_us", "wifi_gap_us",
 		"placement", "area_m", "path_loss_exp", "tx_range_m", "capture_db",
+		"routing", "beacon_period_ms", "mobility", "speed_mps",
 		"battery_uah", "battery_node_uah", "harvest", "death_policy",
 		"traffic",
 	}

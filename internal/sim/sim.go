@@ -35,6 +35,13 @@ type Priority int8
 
 // Predefined scheduling priorities.
 const (
+	// PrioTopology runs before everything else at an instant: topology
+	// maintenance (mobility epochs, death-driven routing notifications) must
+	// be visible to every hardware and software event sharing its tick, and
+	// the unique priority keeps topology events totally ordered against all
+	// other work by (at, prio) alone — no cross-simulator birth comparison,
+	// which a partitioned run cannot reproduce, is ever needed.
+	PrioTopology Priority = -20 // topology changes (mobility, rerouting)
 	PrioHardware Priority = -10 // hardware state machines, medium
 	PrioIRQ      Priority = 0   // interrupt dispatch
 	PrioTask     Priority = 10  // deferred software work
